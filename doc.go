@@ -1,0 +1,33 @@
+// Package decwi (DECoupled Work-Items) is a Go reproduction of
+// "Exploiting Decoupled OpenCL Work-Items with Data Dependencies on
+// FPGAs: A Case Study" (Varela, Wehn, Liang, Tang — IPDPS Workshops
+// 2017).
+//
+// The paper shows how FPGAs can run parallel OpenCL work-items fully
+// decoupled, so that data-dependent branches (rejection sampling) in one
+// work-item never stall another — unlike the lockstep warps and implicit
+// SIMD of CPUs, GPUs and Xeon Phi — and evaluates the idea on a nested
+// rejection-based gamma random-number generator used by the CreditRisk+
+// financial model.
+//
+// Since no OpenCL/FPGA toolchain exists in pure Go, the hardware layers
+// are simulated (see DESIGN.md for the substitution table): an HLS-style
+// pipeline and dataflow model, an FPGA resource/memory-controller model,
+// a lockstep SIMT divergence simulator, a miniature OpenCL host runtime,
+// and a plug-power measurement model. The numerical algorithms — both
+// Mersenne-Twisters, the Marsaglia-Bray polar transform, both ICDF
+// variants, the Marsaglia-Tsang gamma sampler, and CreditRisk+ — are real
+// implementations producing genuine gamma-distributed data.
+//
+// The package exposes three levels of API:
+//
+//   - Generate: run a Table I configuration of the decoupled work-item
+//     engine and get validated gamma data plus modelled FPGA timing.
+//   - Experiments: regenerate every table and figure of the paper's
+//     evaluation (TableII, TableIII, Fig5a/b, Fig6, Fig7, Fig8, Fig9,
+//     RejectionRates).
+//   - PortfolioRisk: the CreditRisk+ application on top of the generator.
+//
+// See examples/ for runnable walkthroughs and cmd/decwi-repro for the
+// experiment harness.
+package decwi

@@ -1,0 +1,53 @@
+// CreditRisk+ example: the financial application the paper's
+// introduction motivates. A loan portfolio is analysed by Monte-Carlo
+// simulation of gamma-distributed sector variables — the exact data the
+// decoupled work-item kernels produce — and the tail-risk numbers are
+// cross-checked against the analytic moments and the exact Panjer
+// recursion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	decwi "github.com/decwi/decwi"
+)
+
+func main() {
+	// A heterogeneous portfolio: three sector blocks with different
+	// concentrations. Each obligor belongs to exactly one sector (the
+	// CSFB reference setup).
+	const (
+		sectors   = 6
+		obligors  = 300
+		pd        = 0.015 // 1.5 % annual default probability
+		exposure  = 250.0 // thousand EUR per loan
+		scenarios = 200_000
+	)
+	p, err := decwi.NewUniformPortfolio(sectors, 1.39, obligors, pd, exposure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("portfolio: %d obligors, %d sectors, PD %.1f%%, exposure %.0f\n",
+		obligors, sectors, pd*100, exposure)
+	fmt.Printf("analytic expected loss: %.1f\n", p.ExpectedLoss())
+
+	// Run the Monte-Carlo with two different kernel configurations: the
+	// risk numbers must agree — the choice of transform/twister is a
+	// performance decision, not a modelling one.
+	for _, cfg := range []decwi.ConfigID{decwi.Config2, decwi.Config4} {
+		rep, err := decwi.PortfolioRisk(p, cfg, scenarios, exposure, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v (%d scenarios):\n", cfg, scenarios)
+		fmt.Printf("  expected loss  %10.1f   (analytic %10.1f)\n", rep.ExpectedLoss, rep.AnalyticEL)
+		fmt.Printf("  loss std       %10.1f   (analytic %10.1f)\n", rep.LossStd, rep.AnalyticStd)
+		fmt.Printf("  VaR 99.9%%      %10.1f   (Panjer exact %10.1f)\n", rep.VaR999, rep.PanjerVaR999)
+		fmt.Printf("  ES  99.9%%      %10.1f\n", rep.ES999)
+	}
+
+	fmt.Println("\nthe 99.9% numbers are the regulatory capital drivers;")
+	fmt.Println("the Panjer column is the closed-form recursion on the banded portfolio.")
+}

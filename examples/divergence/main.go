@@ -1,0 +1,54 @@
+// Divergence example: the paper's Fig. 2 made quantitative. The same
+// rejection-based gamma kernel is executed (a) in lockstep hardware
+// partitions of 8/16/32 lanes — the CPU-SIMD, Xeon-Phi and GPU-warp
+// granularities — and (b) fully decoupled, one work-item per partition,
+// as the FPGA design runs it. The lockstep inflation factor is the issue-
+// slot waste caused by data-dependent branches; decoupled execution is
+// immune by construction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	decwi "github.com/decwi/decwi"
+)
+
+func main() {
+	const quota = 2000 // outputs per work-item; small enough to see the effect
+
+	fmt.Println("lockstep divergence vs decoupled execution (real generators, v=1.39)")
+	fmt.Println()
+
+	for _, cfg := range []decwi.ConfigID{decwi.Config1, decwi.Config3} {
+		info, err := cfg.Describe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, err := decwi.MeasureRejection(cfg, 1.39, 50_000, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): combined rejection rate %.3f\n", info.Name, info.Transform, rate)
+
+		pts, err := decwi.DivergenceSweep(cfg, quota, []int{1, 8, 16, 32}, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %-12s %s\n", "partition", "inflation", "divergent steps")
+		names := map[int]string{
+			1:  "decoupled (FPGA)",
+			8:  "SIMD-8   (CPU AVX)",
+			16: "SIMD-16  (Xeon Phi)",
+			32: "warp-32  (GPU)",
+		}
+		for _, p := range pts {
+			fmt.Printf("  %-22s %8.4fx %13.1f%%\n", names[p.Width], p.Inflation, 100*p.DivergentStepFrac)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("inflation = lockstep issue slots / decoupled issue slots for the same work.")
+	fmt.Println("the high-rejection Marsaglia-Bray kernel diverges on far more steps than the")
+	fmt.Println("ICDF kernel — the mechanism behind the CPU/GPU/PHI improvements in Table III.")
+}

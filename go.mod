@@ -1,0 +1,3 @@
+module github.com/decwi/decwi
+
+go 1.22

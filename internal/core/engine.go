@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/decwi/decwi/internal/hls"
+	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/rng/gamma"
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+// Config describes one kernel build of the decoupled work-item engine.
+type Config struct {
+	// Transform selects the uniform-to-normal stage (Table I column 2).
+	Transform normal.Kind
+	// MTParams selects the Mersenne-Twister variant (Table I columns
+	// 3-5: MT19937 or MT521).
+	MTParams mt.Params
+	// WorkItems is the number of decoupled pipelines (paper: 6 for
+	// Config1/2, 8 for Config3/4, from place-and-route).
+	WorkItems int
+	// Scenarios and Sectors span the output grid; each work-item owns
+	// Scenarios/WorkItems scenarios for every sector.
+	Scenarios int64
+	Sectors   int
+	// SectorVariance is the gamma variance per sector; if
+	// SectorVariances is non-nil it overrides per sector (len must be
+	// Sectors).
+	SectorVariance  float64
+	SectorVariances []float64
+	// BurstRNs is the burst length in values (Listing 4's SXTRANSF);
+	// must be a multiple of WordRNs. Default 64.
+	BurstRNs int
+	// StreamDepth is the hls::stream FIFO depth between generation and
+	// transfer. Default 64.
+	StreamDepth int
+	// BreakID is the counter delay index of Listing 2 ("here it
+	// suffices to use zero").
+	BreakID int
+	// LimitMaxFactor bounds MAINLOOP trips at
+	// LimitMaxFactor·limitMain + 1024 as a starvation guard. Default 8.
+	LimitMaxFactor int64
+	// Seed is the master seed; per-work-item streams are split from it.
+	Seed uint64
+}
+
+// setDefaults validates and fills defaults, returning a normalized copy.
+func (c Config) setDefaults() (Config, error) {
+	if c.WorkItems < 1 {
+		return c, fmt.Errorf("core: WorkItems must be ≥ 1, got %d", c.WorkItems)
+	}
+	if c.Scenarios < 1 || c.Sectors < 1 {
+		return c, fmt.Errorf("core: need positive scenarios (%d) and sectors (%d)", c.Scenarios, c.Sectors)
+	}
+	if c.SectorVariances != nil && len(c.SectorVariances) != c.Sectors {
+		return c, fmt.Errorf("core: SectorVariances length %d != Sectors %d", len(c.SectorVariances), c.Sectors)
+	}
+	if c.SectorVariances == nil && !(c.SectorVariance > 0) {
+		return c, fmt.Errorf("core: SectorVariance must be positive, got %g", c.SectorVariance)
+	}
+	if c.BurstRNs == 0 {
+		c.BurstRNs = 64
+	}
+	if c.BurstRNs < WordRNs || c.BurstRNs%WordRNs != 0 {
+		return c, fmt.Errorf("core: BurstRNs %d must be a positive multiple of %d", c.BurstRNs, WordRNs)
+	}
+	if c.StreamDepth == 0 {
+		c.StreamDepth = 64
+	}
+	if c.BreakID < 0 {
+		return c, fmt.Errorf("core: BreakID must be ≥ 0, got %d", c.BreakID)
+	}
+	if c.LimitMaxFactor == 0 {
+		c.LimitMaxFactor = 8
+	}
+	if c.LimitMaxFactor < 2 {
+		return c, fmt.Errorf("core: LimitMaxFactor %d too small to survive rejection", c.LimitMaxFactor)
+	}
+	if c.MTParams.N == 0 {
+		c.MTParams = mt.MT19937Params
+	}
+	return c, nil
+}
+
+// variance returns the sector's variance under either configuration mode.
+func (c Config) variance(sector int) float64 {
+	if c.SectorVariances != nil {
+		return c.SectorVariances[sector]
+	}
+	return c.SectorVariance
+}
+
+// WorkItemStats is the per-pipeline telemetry of one run.
+type WorkItemStats struct {
+	WID       int
+	Scenarios int64 // limitMain of this work-item
+	Cycles    uint64
+	// Accepted counts pipeline-level acceptances; it can exceed the
+	// emitted output count by up to (BreakID+1) per sector, because the
+	// overshoot iterations after the quota may accept candidates that
+	// the counter<limitMain write guard then drops (Listing 2 keeps the
+	// pipeline running until the delayed exit fires).
+	Accepted      uint64
+	RejectionRate float64 // Eq. (1) sense: extra trips per output
+	Overshoot     int64   // delayed-exit extra trips, summed over sectors
+	Bursts        int64   // memory bursts issued by the Transfer engine
+	FlushedWords  int64   // partial trailing words (0 on divisible setups)
+	StreamHigh    int     // high-water occupancy of the hls::stream
+}
+
+// RunResult carries the generated data and the run telemetry.
+type RunResult struct {
+	// Data holds Scenarios·Sectors gamma values in device layout: one
+	// contiguous block per work-item, sector-major inside the block
+	// (Section III-E-2's single device buffer with per-wid offsets).
+	Data []float32
+	// BlockOffsets[w] is the index of work-item w's block in Data;
+	// BlockOffsets[WorkItems] == len(Data).
+	BlockOffsets []int64
+	// PerWI is the per-work-item telemetry.
+	PerWI []WorkItemStats
+	cfg   Config
+}
+
+// Engine executes Config as a DATAFLOW region of decoupled work-items.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	c, err := cfg.setDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: c}, nil
+}
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// splitScenarios distributes Scenarios across work-items (earlier
+// work-items absorb the remainder), mirroring how the host would pick
+// per-work-item limits.
+func (e *Engine) splitScenarios() []int64 {
+	n := int64(e.cfg.WorkItems)
+	base := e.cfg.Scenarios / n
+	rem := e.cfg.Scenarios % n
+	out := make([]int64, e.cfg.WorkItems)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Run executes the engine: Listing 1's DecoupledWorkItems — one
+// gammaRNG process and one Transfer process per work-item, joined by a
+// blocking stream, all scheduled concurrently.
+func (e *Engine) Run() (*RunResult, error) {
+	cfg := e.cfg
+	per := e.splitScenarios()
+
+	res := &RunResult{
+		Data:         make([]float32, cfg.Scenarios*int64(cfg.Sectors)),
+		BlockOffsets: make([]int64, cfg.WorkItems+1),
+		PerWI:        make([]WorkItemStats, cfg.WorkItems),
+		cfg:          cfg,
+	}
+	for w := 0; w < cfg.WorkItems; w++ {
+		res.BlockOffsets[w+1] = res.BlockOffsets[w] + per[w]*int64(cfg.Sectors)
+	}
+
+	// Per-work-item master seeds are drawn through SplitMix64 *outputs*
+	// (rng.StreamSeeds) rather than linear offsets: a linear offset by the
+	// golden-ratio constant would alias with the generator's own internal
+	// stream split (work-item w's stream k would equal work-item w+1's
+	// stream k−1), producing cross-work-item correlation that the
+	// Anderson-Darling validation catches.
+	wiSeeds := rng.StreamSeeds(cfg.Seed, cfg.WorkItems)
+
+	procs := make([]hls.Process, 0, 2*cfg.WorkItems)
+	for w := 0; w < cfg.WorkItems; w++ {
+		wid := w
+		limitMain := per[wid]
+		stream := hls.NewStream[float32](fmt.Sprintf("gamma[%d]", wid), cfg.StreamDepth)
+		stats := &res.PerWI[wid]
+		stats.WID = wid
+		stats.Scenarios = limitMain
+
+		gen := gamma.NewGenerator(cfg.Transform, cfg.MTParams,
+			gamma.MustFromVariance(cfg.variance(0)), wiSeeds[wid])
+
+		procs = append(procs,
+			hls.Process{
+				Name: fmt.Sprintf("GammaRNG[%d]", wid),
+				Run:  func() error { return e.gammaRNG(wid, limitMain, gen, stream, stats) },
+			},
+			hls.Process{
+				Name: fmt.Sprintf("Transfer[%d]", wid),
+				Run:  func() error { return e.transfer(wid, limitMain, stream, res, stats) },
+			},
+		)
+	}
+	if err := hls.Dataflow(procs); err != nil {
+		return nil, err
+	}
+	for w := range res.PerWI {
+		s := &res.PerWI[w]
+		if s.Accepted > 0 {
+			s.RejectionRate = float64(s.Cycles-s.Accepted) / float64(s.Accepted)
+		}
+	}
+	return res, nil
+}
+
+// gammaRNG is Listing 2: SECLOOP over sectors, each running the delayed-
+// exit MAINLOOP until limitMain validated outputs are written to the
+// stream.
+func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *hls.Stream[float32], stats *WorkItemStats) error {
+	defer out.Close()
+	cfg := e.cfg
+	limitMax := cfg.LimitMaxFactor*limitMain + 1024
+
+	for sector := 0; sector < cfg.Sectors; sector++ {
+		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
+
+		reg := hls.NewRegDelay(cfg.BreakID)
+		var counter uint32
+		var quotaAt, trips int64 = -1, 0
+
+		for k := int64(0); k < limitMax && int64(reg.Delayed()) < limitMain; k++ {
+			reg.Update(counter)
+			r := gen.CycleStep()
+			if r.Valid && int64(counter) < limitMain {
+				out.Write(r.Gamma)
+				counter++
+				if int64(counter) == limitMain {
+					quotaAt = k
+				}
+			}
+			trips++
+		}
+		if int64(counter) < limitMain {
+			return fmt.Errorf("core: work-item %d starved in sector %d: %d/%d outputs within limitMax=%d",
+				wid, sector, counter, limitMain, limitMax)
+		}
+		stats.Overshoot += trips - (quotaAt + 1)
+	}
+	stats.Cycles = gen.Cycles()
+	stats.Accepted = gen.Accepted()
+	return nil
+}
+
+// transfer is Listing 4: read the stream, pack into 512-bit words, fill
+// the burst buffer, and copy each completed burst into the single device
+// buffer at this work-item's running offset.
+func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res *RunResult, stats *WorkItemStats) error {
+	cfg := e.cfg
+	burstWords := cfg.BurstRNs / WordRNs
+	burst := make([]Word512, 0, burstWords)
+	var pk Packer512
+
+	offset := res.BlockOffsets[wid] // running value offset (blockOffset·wid)
+	emit := func(w Word512, n int) {
+		copy(res.Data[offset:offset+int64(n)], w[:n])
+		offset += int64(n)
+	}
+	flushBurst := func() {
+		if len(burst) == 0 {
+			return
+		}
+		// One memcpy burst: LTRANSF consecutive beats at the offset.
+		for _, w := range burst {
+			emit(w, WordRNs)
+		}
+		burst = burst[:0]
+		stats.Bursts++
+	}
+
+	total := limitMain * int64(cfg.Sectors)
+	for i := int64(0); i < total; i++ {
+		v, err := in.Read()
+		if err != nil {
+			return fmt.Errorf("core: transfer %d: stream ended after %d of %d values: %w", wid, i, total, err)
+		}
+		if w, ok := pk.Push(v); ok {
+			burst = append(burst, w)
+			if len(burst) == burstWords {
+				flushBurst()
+			}
+		}
+	}
+	// Tail handling for non-divisible workloads: emit the partial word
+	// with exact length so no padding lands in the result buffer.
+	if w, ok := pk.Flush(); ok {
+		flushBurst()
+		emit(w, int(total%int64(WordRNs)))
+		stats.FlushedWords++
+		stats.Bursts++
+	} else {
+		flushBurst()
+	}
+	if offset != res.BlockOffsets[wid+1] {
+		return fmt.Errorf("core: transfer %d: wrote %d values, block expects %d",
+			wid, offset-res.BlockOffsets[wid], res.BlockOffsets[wid+1]-res.BlockOffsets[wid])
+	}
+	_, _, stats.StreamHigh = streamStats(in)
+	return nil
+}
+
+// streamStats adapts the Stream telemetry accessor.
+func streamStats(s *hls.Stream[float32]) (uint64, uint64, int) { return s.Stats() }
+
+// At returns the value for (workItem, sector, scenarioIndex) from the
+// device layout.
+func (r *RunResult) At(wid, sector int, scenario int64) float32 {
+	limitMain := (r.BlockOffsets[wid+1] - r.BlockOffsets[wid]) / int64(r.cfg.Sectors)
+	return r.Data[r.BlockOffsets[wid]+int64(sector)*limitMain+scenario]
+}
+
+// SectorValues gathers every value of one sector across all work-items —
+// the per-sector marginal the Fig. 6 validation histograms.
+func (r *RunResult) SectorValues(sector int) []float32 {
+	out := make([]float32, 0, r.cfg.Scenarios)
+	for w := 0; w < r.cfg.WorkItems; w++ {
+		limitMain := (r.BlockOffsets[w+1] - r.BlockOffsets[w]) / int64(r.cfg.Sectors)
+		start := r.BlockOffsets[w] + int64(sector)*limitMain
+		out = append(out, r.Data[start:start+limitMain]...)
+	}
+	return out
+}
+
+// CombinedRejectionRate returns the output-weighted mean rejection rate
+// across work-items — the r that enters Eq. (1).
+func (r *RunResult) CombinedRejectionRate() float64 {
+	var cyc, acc uint64
+	for _, s := range r.PerWI {
+		cyc += s.Cycles
+		acc += s.Accepted
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(cyc-acc) / float64(acc)
+}
+
+// MaxWorkItemCycles returns the largest per-work-item cycle count — the
+// quantity that determines the kernel's compute time, since decoupled
+// work-items run independently and the slowest one finishes last.
+func (r *RunResult) MaxWorkItemCycles() uint64 {
+	var m uint64
+	for _, s := range r.PerWI {
+		if s.Cycles > m {
+			m = s.Cycles
+		}
+	}
+	return m
+}

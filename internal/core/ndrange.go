@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/decwi/decwi/internal/hls"
+	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/rng/gamma"
+)
+
+// This file implements the .cl NDRange alternative the paper discusses in
+// Section III-A: SDAccel maps each *work-group* of an NDRange kernel to
+// one compute unit, and inside it the work-items are time-multiplexed
+// through a single pipeline as nested loop iterations. The Task
+// formulation (engine.go) instead instantiates each work-item as its own
+// pipeline with localSize pinned to 1 but full control over streams and
+// bursts.
+//
+// Two consequences the paper points out, both observable here:
+//
+//   - "what directly affects the overall runtime is the number of
+//     pipelines (work-groups) instantiated in parallel": the compute
+//     cycles per compute unit depend only on the total work assigned to
+//     it, not on how it is sliced into work-items;
+//   - the NDRange formulation loses the per-work-item hls::stream +
+//     burst Transfer structure: work-items interleave in the pipeline, so
+//     their stores scatter across per-work-item regions and cannot form
+//     long bursts (the engine reports its effective burst length as one
+//     beat), which is why the paper builds the Task version.
+
+// NDRangeConfig configures the work-group-mapped engine.
+type NDRangeConfig struct {
+	// Transform/MTParams/SectorVariance(s)/Seed as in Config.
+	Config
+	// WorkGroups is the number of compute units (pipelines) instantiated.
+	WorkGroups int
+	// LocalSize is the number of work-items per work-group.
+	LocalSize int
+}
+
+// validate checks the NDRange-specific geometry; the embedded Config's
+// WorkItems field is ignored (derived as WorkGroups·LocalSize).
+func (c NDRangeConfig) validate() (NDRangeConfig, error) {
+	if c.WorkGroups < 1 || c.LocalSize < 1 {
+		return c, fmt.Errorf("core: NDRange needs positive work-groups (%d) and localSize (%d)", c.WorkGroups, c.LocalSize)
+	}
+	c.Config.WorkItems = c.WorkGroups * c.LocalSize
+	norm, err := c.Config.setDefaults()
+	if err != nil {
+		return c, err
+	}
+	c.Config = norm
+	return c, nil
+}
+
+// NDRangeResult carries the generated data and per-compute-unit
+// telemetry.
+type NDRangeResult struct {
+	// Data is in global work-item-major layout (work-item wid's block at
+	// BlockOffsets[wid]), identical to the Task engine's layout so the
+	// two formulations are directly comparable.
+	Data         []float32
+	BlockOffsets []int64
+	// CUCycles[g] is the pipeline cycle count of compute unit g: the sum
+	// of its work-items' iterations (time multiplexing leaves no idle
+	// issue slots while any work-item is unfinished).
+	CUCycles []int64
+	// CUScattered[g] counts compute unit g's stores that could not join a
+	// burst — all of them, in this formulation.
+	CUScattered []int64
+}
+
+// ScatteredStores returns the total number of burst-less stores.
+func (r *NDRangeResult) ScatteredStores() int64 {
+	var s int64
+	for _, c := range r.CUScattered {
+		s += c
+	}
+	return s
+}
+
+// MaxCUCycles returns the slowest compute unit's cycle count — the
+// NDRange kernel's compute time.
+func (r *NDRangeResult) MaxCUCycles() int64 {
+	var m int64
+	for _, c := range r.CUCycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// RunNDRange executes the NDRange formulation functionally: WorkGroups
+// compute units in parallel (DATAFLOW over groups), each time-multiplexing
+// its LocalSize work-items through one pipeline.
+func RunNDRange(cfg NDRangeConfig) (*NDRangeResult, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	global := cfg.WorkGroups * cfg.LocalSize
+
+	// Distribute scenarios across all global work-items, exactly like
+	// the Task engine distributes across its pipelines.
+	base := cfg.Scenarios / int64(global)
+	rem := cfg.Scenarios % int64(global)
+	quota := make([]int64, global)
+	for i := range quota {
+		quota[i] = base
+		if int64(i) < rem {
+			quota[i]++
+		}
+	}
+
+	res := &NDRangeResult{
+		Data:         make([]float32, cfg.Scenarios*int64(cfg.Sectors)),
+		BlockOffsets: make([]int64, global+1),
+		CUCycles:     make([]int64, cfg.WorkGroups),
+		CUScattered:  make([]int64, cfg.WorkGroups),
+	}
+	for w := 0; w < global; w++ {
+		res.BlockOffsets[w+1] = res.BlockOffsets[w] + quota[w]*int64(cfg.Sectors)
+	}
+
+	procs := make([]hls.Process, 0, cfg.WorkGroups)
+	for g := 0; g < cfg.WorkGroups; g++ {
+		g := g
+		procs = append(procs, hls.Process{
+			Name: fmt.Sprintf("CU[%d]", g),
+			Run: func() error {
+				return runComputeUnit(cfg, g, quota, res)
+			},
+		})
+	}
+	if err := hls.Dataflow(procs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runComputeUnit time-multiplexes one work-group's work-items through a
+// single pipeline, sector by sector.
+func runComputeUnit(cfg NDRangeConfig, group int, quota []int64, res *NDRangeResult) error {
+	type wiState struct {
+		gen     *gamma.Generator
+		wid     int
+		offset  int64 // next write position in Data
+		counter int64
+	}
+	// Hashed per-work-item seeds: see the matching comment in engine.go
+	// (linear golden-ratio offsets alias with the generator's internal
+	// stream split).
+	global := cfg.WorkGroups * cfg.LocalSize
+	wiSeeds := rng.StreamSeeds(cfg.Seed, global)
+	wis := make([]*wiState, cfg.LocalSize)
+	for l := 0; l < cfg.LocalSize; l++ {
+		wid := group*cfg.LocalSize + l
+		wis[l] = &wiState{
+			gen: gamma.NewGenerator(cfg.Transform, cfg.MTParams,
+				gamma.MustFromVariance(cfg.variance(0)), wiSeeds[wid]),
+			wid: wid,
+		}
+	}
+
+	var cycles, scattered int64
+	for sector := 0; sector < cfg.Sectors; sector++ {
+		p := gamma.MustFromVariance(cfg.variance(sector))
+		for _, w := range wis {
+			w.gen.SetParams(p)
+			w.counter = 0
+			w.offset = res.BlockOffsets[w.wid] + int64(sector)*quota[w.wid]
+		}
+		remaining := 0
+		for _, w := range wis {
+			if quota[w.wid] > 0 {
+				remaining++
+			}
+		}
+		// The pipelined loop over interleaved work-items: each cycle
+		// advances the next unfinished work-item (round-robin), which is
+		// how the nested work-item loops of a .cl kernel fill a single
+		// pipeline with independent iterations.
+		for rr := 0; remaining > 0; rr = (rr + 1) % cfg.LocalSize {
+			w := wis[rr]
+			if w.counter >= quota[w.wid] {
+				continue
+			}
+			cycles++
+			r := w.gen.CycleStep()
+			if r.Valid && w.counter < quota[w.wid] {
+				// Scattered store: each work-item writes its own
+				// region, so consecutive pipeline outputs land in
+				// different address ranges — no burst formation.
+				res.Data[w.offset] = r.Gamma
+				w.offset++
+				w.counter++
+				scattered++
+				if w.counter == quota[w.wid] {
+					remaining--
+				}
+			}
+		}
+	}
+	// Each CU goroutine owns its own slots; no cross-CU writes.
+	res.CUCycles[group] = cycles
+	res.CUScattered[group] = scattered
+	return nil
+}

@@ -1,0 +1,431 @@
+package creditrisk
+
+import (
+	"math"
+	"testing"
+
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+func testPortfolio(t *testing.T, sectors, obligors int) *Portfolio {
+	t.Helper()
+	p, err := UniformPortfolio(PaperSectors(sectors), obligors, 0.02, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPortfolioValidation(t *testing.T) {
+	good := testPortfolio(t, 3, 30)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(p *Portfolio){
+		"no sectors":      func(p *Portfolio) { p.Sectors = nil },
+		"no obligors":     func(p *Portfolio) { p.Obligors = nil },
+		"bad variance":    func(p *Portfolio) { p.Sectors[0].Variance = 0 },
+		"bad pd low":      func(p *Portfolio) { p.Obligors[0].PD = 0 },
+		"bad pd high":     func(p *Portfolio) { p.Obligors[0].PD = 1 },
+		"bad exposure":    func(p *Portfolio) { p.Obligors[0].Exposure = 0 },
+		"weight count":    func(p *Portfolio) { p.Obligors[0].Weights = []float64{1} },
+		"weight sum":      func(p *Portfolio) { p.Obligors[0].Weights[0] = 0.5 },
+		"negative weight": func(p *Portfolio) { p.Obligors[0].Weights = []float64{-1, 1, 1} },
+	}
+	for name, mutate := range cases {
+		p := testPortfolio(t, 3, 30)
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestAnalyticMoments(t *testing.T) {
+	p := testPortfolio(t, 2, 10) // 10 obligors, PD 0.02, exposure 100
+	// E[L] = 10·0.02·100 = 20.
+	if el := p.ExpectedLoss(); math.Abs(el-20) > 1e-12 {
+		t.Fatalf("E[L] = %g", el)
+	}
+	// Var = Σ p e² + Σ_k v μ_k²; 5 obligors per sector, μ_k = 5·0.02·100 = 10.
+	want := 10*0.02*100*100 + 2*1.39*10*10
+	if v := p.LossVariance(); math.Abs(v-want) > 1e-9 {
+		t.Fatalf("Var[L] = %g want %g", v, want)
+	}
+	if m := p.SectorPolyExposure(0); math.Abs(m-10) > 1e-12 {
+		t.Fatalf("sector exposure %g", m)
+	}
+	if vs := p.SectorVariances(); len(vs) != 2 || vs[0] != 1.39 {
+		t.Fatalf("variances %v", vs)
+	}
+}
+
+func TestPoissonSampler(t *testing.T) {
+	src := mt.NewMT19937(3)
+	for _, lambda := range []float64{0.01, 0.5, 3, 80} {
+		const n = 60000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			k, err := Poisson(src, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(k)
+			sum2 += float64(k) * float64(k)
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("λ=%g: mean %g", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.08 {
+			t.Errorf("λ=%g: variance %g", lambda, variance)
+		}
+	}
+	if k, err := Poisson(src, 0); err != nil || k != 0 {
+		t.Fatal("λ=0 must give 0")
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := Poisson(src, bad); err == nil {
+			t.Errorf("λ=%g should fail", bad)
+		}
+	}
+}
+
+// TestMCMatchesAnalyticMoments: the Monte-Carlo engine driven by the
+// paper's gamma generator reproduces the closed-form loss moments.
+func TestMCMatchesAnalyticMoments(t *testing.T) {
+	p := testPortfolio(t, 4, 40)
+	res, err := SimulateMC(p, MCConfig{
+		Scenarios: 40000, Transform: normal.MarsagliaBray, MTParams: mt.MT521Params, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanLoss-p.ExpectedLoss())/p.ExpectedLoss() > 0.05 {
+		t.Errorf("MC mean %g vs analytic %g", res.MeanLoss, p.ExpectedLoss())
+	}
+	if math.Abs(res.LossVar-p.LossVariance())/p.LossVariance() > 0.10 {
+		t.Errorf("MC variance %g vs analytic %g", res.LossVar, p.LossVariance())
+	}
+	for k, m := range res.SectorMean {
+		if math.Abs(m-1) > 0.05 {
+			t.Errorf("sector %d factor mean %g, want ≈1", k, m)
+		}
+	}
+	// Configuration equivalence: the ICDF kernels must produce the same
+	// risk numbers (they generate the same distribution).
+	res2, err := SimulateMC(p, MCConfig{
+		Scenarios: 40000, Transform: normal.ICDFFPGA, MTParams: mt.MT521Params, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.MeanLoss-res.MeanLoss)/res.MeanLoss > 0.08 {
+		t.Errorf("transforms disagree on mean loss: %g vs %g", res.MeanLoss, res2.MeanLoss)
+	}
+}
+
+func TestMCErrors(t *testing.T) {
+	p := testPortfolio(t, 1, 2)
+	if _, err := SimulateMC(p, MCConfig{Scenarios: 0}); err == nil {
+		t.Fatal("zero scenarios should fail")
+	}
+	bad := testPortfolio(t, 1, 2)
+	bad.Obligors[0].PD = 0
+	if _, err := SimulateMC(bad, MCConfig{Scenarios: 10}); err == nil {
+		t.Fatal("invalid portfolio should fail")
+	}
+}
+
+func TestVaRAndES(t *testing.T) {
+	r := &MCResult{Losses: []float64{0, 0, 0, 0, 0, 0, 0, 10, 20, 100}}
+	v, err := r.VaR(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20 { // 9th order statistic of 10 samples
+		t.Fatalf("VaR(0.9) = %g", v)
+	}
+	if top, _ := r.VaR(0.999); top != 100 {
+		t.Fatalf("VaR(0.999) = %g", top)
+	}
+	es, err := r.ExpectedShortfall(0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es < v-1e-12 {
+		t.Fatalf("ES %g below its VaR", es)
+	}
+	if _, err := r.VaR(0); err == nil {
+		t.Fatal("q=0 should fail")
+	}
+	if _, err := r.VaR(1); err == nil {
+		t.Fatal("q=1 should fail")
+	}
+}
+
+func TestBandedPortfolio(t *testing.T) {
+	p := testPortfolio(t, 2, 4)
+	b, err := NewBandedPortfolio(p, 40) // 100/40 = 2.5 → band 3 (round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range b.Bands {
+		if band != 3 {
+			t.Fatalf("band %d, want 3", band)
+		}
+	}
+	if _, err := NewBandedPortfolio(p, 0); err == nil {
+		t.Fatal("zero unit should fail")
+	}
+	// Tiny exposures band to 1, never 0.
+	small := testPortfolio(t, 1, 1)
+	small.Obligors[0].Exposure = 0.001
+	b2, err := NewBandedPortfolio(small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Bands[0] != 1 {
+		t.Fatalf("tiny exposure banded to %d", b2.Bands[0])
+	}
+}
+
+// TestPanjerMatchesMoments: the exact recursion reproduces the analytic
+// mean and variance of the banded portfolio.
+func TestPanjerMatchesMoments(t *testing.T) {
+	p := testPortfolio(t, 3, 30)
+	b, err := NewBandedPortfolio(p, 100) // exposures exactly one unit
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := b.PanjerLossDistribution(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := dist.Mass(); math.Abs(m-1) > 1e-6 {
+		t.Fatalf("truncated mass %g", m)
+	}
+	if math.Abs(dist.Mean()-p.ExpectedLoss())/p.ExpectedLoss() > 1e-6 {
+		t.Fatalf("Panjer mean %g vs analytic %g", dist.Mean(), p.ExpectedLoss())
+	}
+	if math.Abs(dist.Variance()-p.LossVariance())/p.LossVariance() > 1e-4 {
+		t.Fatalf("Panjer variance %g vs analytic %g", dist.Variance(), p.LossVariance())
+	}
+}
+
+// TestPanjerMatchesMC: MC quantiles agree with the exact distribution —
+// the end-to-end application-level validation of the whole RNG stack.
+func TestPanjerMatchesMC(t *testing.T) {
+	p := testPortfolio(t, 2, 20)
+	b, err := NewBandedPortfolio(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := b.PanjerLossDistribution(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateMC(p, MCConfig{
+		Scenarios: 60000, Transform: normal.MarsagliaBray, MTParams: mt.MT521Params, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact, err := dist.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := res.VaR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Discrete distribution: allow one exposure unit of slack plus
+		// MC noise.
+		if math.Abs(mc-exact) > 2*b.Unit {
+			t.Errorf("q=%g: MC VaR %g vs Panjer %g", q, mc, exact)
+		}
+	}
+}
+
+func TestPanjerErrors(t *testing.T) {
+	p := testPortfolio(t, 1, 2)
+	b, _ := NewBandedPortfolio(p, 100)
+	if _, err := b.PanjerLossDistribution(0); err == nil {
+		t.Fatal("maxUnits 0 should fail")
+	}
+	dist, err := b.PanjerLossDistribution(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.Quantile(0); err == nil {
+		t.Fatal("q=0 should fail")
+	}
+	// A quantile beyond the truncated mass must error, not fabricate.
+	short, err := b.PanjerLossDistribution(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.Quantile(1 - 1e-12); err == nil && short.Mass() < 1-1e-12 {
+		t.Fatal("quantile beyond truncation should fail")
+	}
+}
+
+// TestSectorWithNoObligors: the recursion degrades gracefully when a
+// sector has no affiliated obligors.
+func TestSectorWithNoObligors(t *testing.T) {
+	p := &Portfolio{
+		Sectors: PaperSectors(2),
+		Obligors: []Obligor{
+			{PD: 0.05, Exposure: 100, Weights: []float64{1, 0}},
+		},
+	}
+	b, err := NewBandedPortfolio(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := b.PanjerLossDistribution(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist.Mean()-5) > 1e-9 {
+		t.Fatalf("mean %g, want 5", dist.Mean())
+	}
+}
+
+func BenchmarkSimulateMC(b *testing.B) {
+	p, err := UniformPortfolio(PaperSectors(8), 100, 0.02, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMC(p, MCConfig{
+			Scenarios: 1000, Transform: normal.MarsagliaBray, MTParams: mt.MT521Params, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPanjer(b *testing.B) {
+	p, err := UniformPortfolio(PaperSectors(8), 200, 0.02, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp, err := NewBandedPortfolio(p, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.PanjerLossDistribution(600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPanjerHeterogeneousBands: a portfolio with several distinct
+// exposure bands — the recursion must reproduce the analytic moments and
+// match the MC quantiles on a genuinely multi-band severity polynomial.
+func TestPanjerHeterogeneousBands(t *testing.T) {
+	p := &Portfolio{Sectors: PaperSectors(2)}
+	for i := 0; i < 30; i++ {
+		w := make([]float64, 2)
+		w[i%2] = 1
+		p.Obligors = append(p.Obligors, Obligor{
+			PD:       0.01 + 0.001*float64(i%5),
+			Exposure: float64(100 * (1 + i%4)), // bands 1..4 units
+			Weights:  w,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBandedPortfolio(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bands must span 1..4.
+	seen := map[int]bool{}
+	for _, band := range b.Bands {
+		seen[band] = true
+	}
+	for want := 1; want <= 4; want++ {
+		if !seen[want] {
+			t.Fatalf("band %d missing from the test portfolio", want)
+		}
+	}
+	dist, err := b.PanjerLossDistribution(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := dist.Mass(); math.Abs(m-1) > 1e-6 {
+		t.Fatalf("mass %g", m)
+	}
+	if math.Abs(dist.Mean()-p.ExpectedLoss())/p.ExpectedLoss() > 1e-6 {
+		t.Fatalf("mean %g vs analytic %g", dist.Mean(), p.ExpectedLoss())
+	}
+	if math.Abs(dist.Variance()-p.LossVariance())/p.LossVariance() > 1e-4 {
+		t.Fatalf("variance %g vs analytic %g", dist.Variance(), p.LossVariance())
+	}
+	res, err := SimulateMC(p, MCConfig{
+		Scenarios: 60000, Transform: normal.ICDFFPGA, MTParams: mt.MT521Params, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.9, 0.99} {
+		exact, err := dist.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := res.VaR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mc-exact) > 3*b.Unit {
+			t.Errorf("q=%g: MC %g vs Panjer %g", q, mc, exact)
+		}
+	}
+}
+
+// TestRiskContributionsEulerConsistency: the capital allocation sums to
+// exactly the portfolio loss standard deviation, concentrated obligors
+// carry more risk, and degenerate inputs error.
+func TestRiskContributions(t *testing.T) {
+	p := testPortfolio(t, 3, 30)
+	rc, err := p.RiskContributions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range rc {
+		if c <= 0 {
+			t.Fatal("risk contributions must be positive")
+		}
+		sum += c
+	}
+	sigma := math.Sqrt(p.LossVariance())
+	if math.Abs(sum-sigma)/sigma > 1e-12 {
+		t.Fatalf("Euler consistency broken: ΣRC=%g vs σ=%g", sum, sigma)
+	}
+	// A doubled-exposure obligor must carry more than double the risk of
+	// its peers (the e_i² term makes contributions convex in exposure).
+	big := testPortfolio(t, 3, 30)
+	big.Obligors[0].Exposure *= 2
+	rc2, err := big.RiskContributions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc2[0] <= 2*rc2[1] {
+		t.Fatalf("concentration not penalized: %g vs peer %g", rc2[0], rc2[1])
+	}
+	bad := testPortfolio(t, 1, 2)
+	bad.Obligors[0].PD = 0
+	if _, err := bad.RiskContributions(); err == nil {
+		t.Fatal("invalid portfolio should fail")
+	}
+}

@@ -1,0 +1,348 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3}
+	b := Resources{10, 20, 30}
+	if got := a.Add(b); got != (Resources{11, 22, 33}) {
+		t.Fatalf("Add %+v", got)
+	}
+	if got := a.Scale(3); got != (Resources{3, 6, 9}) {
+		t.Fatalf("Scale %+v", got)
+	}
+	if !a.FitsIn(b) || b.FitsIn(a) {
+		t.Fatal("FitsIn wrong")
+	}
+	if a.FitsIn(Resources{0, 20, 30}) {
+		t.Fatal("FitsIn must check every class")
+	}
+	sp, dp, bp := (Resources{1074, 36, 147}).UtilizationPct(XC7VX690T)
+	if math.Abs(sp-1) > 1e-12 || math.Abs(dp-1) > 1e-12 || math.Abs(bp-10) > 1e-12 {
+		t.Fatalf("utilization %g %g %g", sp, dp, bp)
+	}
+}
+
+// TestPlaceAndRouteTableII reproduces Table II: work-item counts (6 for
+// Config1/2, 8 for Config3/4), the utilization percentages within half a
+// percentage point, slices as the limiting resource, and the corrected
+// ~80 % OCL-region utilization.
+func TestPlaceAndRouteTableII(t *testing.T) {
+	cases := []struct {
+		name      string
+		transform normal.Kind
+		mtp       mt.Params
+		wantWI    int
+		wantSlice float64
+		wantDSP   float64
+		wantBRAM  float64
+	}{
+		{"Config1", normal.MarsagliaBray, mt.MT19937Params, 6, 53.43, 23.67, 20.31},
+		{"Config2", normal.MarsagliaBray, mt.MT521Params, 6, 52.75, 23.67, 20.31},
+		{"Config3", normal.ICDFFPGA, mt.MT19937Params, 8, 52.92, 21.56, 24.05},
+		{"Config4", normal.ICDFFPGA, mt.MT521Params, 8, 52.72, 21.56, 24.05},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := PlaceAndRoute(tc.transform, tc.mtp, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.WorkItems != tc.wantWI {
+				t.Fatalf("work-items %d, paper achieved %d", rep.WorkItems, tc.wantWI)
+			}
+			if math.Abs(rep.SlicePct-tc.wantSlice) > 0.5 {
+				t.Errorf("slice%% %.2f vs paper %.2f", rep.SlicePct, tc.wantSlice)
+			}
+			if math.Abs(rep.DSPPct-tc.wantDSP) > 0.5 {
+				t.Errorf("DSP%% %.2f vs paper %.2f", rep.DSPPct, tc.wantDSP)
+			}
+			if math.Abs(rep.BRAMPct-tc.wantBRAM) > 0.5 {
+				t.Errorf("BRAM%% %.2f vs paper %.2f", rep.BRAMPct, tc.wantBRAM)
+			}
+			if rep.LimitingResource != "slices" {
+				t.Errorf("limited by %s, paper: slices", rep.LimitingResource)
+			}
+			if rep.CorrectedSlicePct < 75 || rep.CorrectedSlicePct > 85 {
+				t.Errorf("corrected OCL-region utilization %.1f%%, paper estimates ~80%%", rep.CorrectedSlicePct)
+			}
+		})
+	}
+}
+
+func TestPlaceAndRouteCap(t *testing.T) {
+	rep, err := PlaceAndRoute(normal.MarsagliaBray, mt.MT19937Params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkItems != 3 {
+		t.Fatalf("cap ignored: %d", rep.WorkItems)
+	}
+	if rep.LimitingResource != "work-item cap" {
+		t.Fatalf("limit %q", rep.LimitingResource)
+	}
+}
+
+func TestMemControllerBasics(t *testing.T) {
+	m := DefaultMemController()
+	if m.BytesPerBeat() != 64 || m.RNsPerBeat() != 16 {
+		t.Fatalf("beat geometry %d/%d", m.BytesPerBeat(), m.RNsPerBeat())
+	}
+	if p := m.PeakGBs(); math.Abs(p-12.8) > 1e-9 {
+		t.Fatalf("peak %g", p)
+	}
+	for _, tc := range []struct{ rns, beats int }{
+		{0, 1}, {1, 1}, {16, 1}, {17, 2}, {64, 4}, {2048, 128},
+	} {
+		if got := m.BeatsForRNs(tc.rns); got != tc.beats {
+			t.Errorf("BeatsForRNs(%d)=%d want %d", tc.rns, got, tc.beats)
+		}
+	}
+}
+
+func TestEffectiveBandwidthShape(t *testing.T) {
+	m := DefaultMemController()
+	// Rising in burst length, capped at the controller ceiling.
+	prev := 0.0
+	for _, b := range []int{1, 2, 4, 8, 32, 128} {
+		bw, err := m.EffectiveBandwidthGBs(b, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bw < prev-1e-12 {
+			t.Fatalf("bandwidth not monotone in burst length at %d beats", b)
+		}
+		if bw > m.ControllerCapGBs+1e-12 {
+			t.Fatalf("bandwidth %g exceeds cap", bw)
+		}
+		prev = bw
+	}
+	// Rising in engine count at small bursts (turnaround hiding).
+	bw1, _ := m.EffectiveBandwidthGBs(1, 1)
+	bw4, _ := m.EffectiveBandwidthGBs(1, 4)
+	if bw4 <= bw1 {
+		t.Fatalf("more engines should help at small bursts: %g vs %g", bw4, bw1)
+	}
+	// Errors.
+	if _, err := m.EffectiveBandwidthGBs(0, 1); err == nil {
+		t.Error("zero-beat burst should fail")
+	}
+	if _, err := m.EffectiveBandwidthGBs(1, 0); err == nil {
+		t.Error("zero engines should fail")
+	}
+	if _, err := m.TransferOnlyRuntime(-1, 64, 4); err == nil {
+		t.Error("negative bytes should fail")
+	}
+}
+
+// TestFig7Sweep regenerates the Fig. 7 family and checks its qualitative
+// claims: longer bursts are never slower, more work-items are never
+// slower, and the saturated bandwidth sits near the paper's measured
+// 3.9 GB/s.
+func TestFig7Sweep(t *testing.T) {
+	m := DefaultMemController()
+	total := PaperWorkload.Bytes()
+	bursts := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	engines := []int{1, 2, 4, 6, 8}
+	pts, err := m.Fig7Sweep(total, bursts, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(bursts)*len(engines) {
+		t.Fatalf("points %d", len(pts))
+	}
+	byEng := map[int][]Fig7Point{}
+	for _, p := range pts {
+		byEng[p.Engines] = append(byEng[p.Engines], p)
+	}
+	for n, series := range byEng {
+		for i := 1; i < len(series); i++ {
+			if series[i].Runtime > series[i-1].Runtime {
+				t.Fatalf("engines=%d: runtime rose from burst %d to %d", n, series[i-1].BurstRNs, series[i].BurstRNs)
+			}
+		}
+	}
+	// Saturated point: 8 engines, 2048-RN bursts.
+	sat := byEng[8][len(bursts)-1]
+	if sat.Bandwidth < 3.5 || sat.Bandwidth > 4.2 {
+		t.Fatalf("saturated bandwidth %g GB/s, paper measures ≈3.9", sat.Bandwidth)
+	}
+}
+
+// TestEq1PaperValues: Eq. (1) with the paper's parameters reproduces the
+// paper's 683 ms (Config1/2 at r=0.303, 6 WI) and ~422 ms (Config3/4 at
+// r=0.074, 8 WI).
+func TestEq1PaperValues(t *testing.T) {
+	d := DefaultDevice()
+	t12, err := d.TheoreticalEq1(PaperWorkload, 6, 0.303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := t12.Seconds() * 1000; math.Abs(ms-683) > 5 {
+		t.Fatalf("Eq1 Config1/2 = %.1f ms, paper 683", ms)
+	}
+	t34, err := d.TheoreticalEq1(PaperWorkload, 8, 0.074)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := t34.Seconds() * 1000; math.Abs(ms-422) > 5 {
+		t.Fatalf("Eq1 Config3/4 = %.1f ms, paper 422", ms)
+	}
+	if _, err := d.TheoreticalEq1(PaperWorkload, 0, 0.3); err == nil {
+		t.Error("zero work-items should fail")
+	}
+	if _, err := d.TheoreticalEq1(PaperWorkload, 1, -0.1); err == nil {
+		t.Error("negative rejection rate should fail")
+	}
+}
+
+// TestKernelRuntimeTableIII: the modelled FPGA runtimes land on the
+// paper's Table III values — 701 ms (Config1/2, compute-bound with high
+// channel utilization) and 642 ms (Config3/4, transfer-bound) — and the
+// derived effective bandwidths match the quoted 3.58 / 3.94 GB/s.
+func TestKernelRuntimeTableIII(t *testing.T) {
+	d := DefaultDevice()
+	const burst = 64 // 4 beats, the final design's LTRANSF
+
+	t12, err := d.KernelRuntime(PaperWorkload, 6, 0.303, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := t12.Runtime.Seconds() * 1000; math.Abs(ms-701) > 15 {
+		t.Fatalf("Config1/2 runtime %.1f ms, paper 701", ms)
+	}
+	if !t12.ComputeBound {
+		t.Error("Config1/2 should be compute-bound (683 ms compute vs ~639 ms transfer)")
+	}
+	if math.Abs(t12.EffectiveBandwidthGBs-3.58) > 0.1 {
+		t.Errorf("Config1/2 effective bandwidth %.2f GB/s, paper derives 3.58", t12.EffectiveBandwidthGBs)
+	}
+
+	// Config3/4 with the ICDF rejection rate this repository measures
+	// (~0.023; see EXPERIMENTS.md on the gap to the paper's 0.074 —
+	// transfer-bound either way).
+	t34, err := d.KernelRuntime(PaperWorkload, 8, 0.023, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := t34.Runtime.Seconds() * 1000; math.Abs(ms-642) > 15 {
+		t.Fatalf("Config3/4 runtime %.1f ms, paper 642", ms)
+	}
+	if t34.ComputeBound {
+		t.Error("Config3/4 should be transfer-bound")
+	}
+	if math.Abs(t34.EffectiveBandwidthGBs-3.94) > 0.1 {
+		t.Errorf("Config3/4 effective bandwidth %.2f GB/s, paper derives 3.94", t34.EffectiveBandwidthGBs)
+	}
+	// The paper's observation: Eq. (1) is close for Config1/2, off by
+	// ~35 % for Config3/4 because the transfers dominate.
+	gap12 := t12.Runtime.Seconds()/t12.TheoreticalEq1.Seconds() - 1
+	gap34 := t34.Runtime.Seconds()/t34.TheoreticalEq1.Seconds() - 1
+	if gap12 > 0.1 {
+		t.Errorf("Config1/2 measured/Eq1 gap %.0f%%, paper sees a close match", 100*gap12)
+	}
+	if gap34 < 0.2 {
+		t.Errorf("Config3/4 measured/Eq1 gap %.0f%%, paper sees ≈35%%", 100*gap34)
+	}
+}
+
+// TestKernelRuntimeIIAblation: losing the delayed-counter workaround
+// (II=2) roughly doubles compute time and flips Config3/4 to
+// compute-bound — the quantitative content of Section III-B.
+func TestKernelRuntimeIIAblation(t *testing.T) {
+	d := DefaultDevice()
+	d.II = 2
+	t34, err := d.KernelRuntime(PaperWorkload, 8, 0.023, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t34.ComputeBound {
+		t.Fatal("with II=2 the compute path should dominate")
+	}
+	d1 := DefaultDevice()
+	base, _ := d1.KernelRuntime(PaperWorkload, 8, 0.023, 64)
+	ratio := t34.ComputeTime.Seconds() / base.ComputeTime.Seconds()
+	if math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("II=2/II=1 compute ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestWorkloadGeometry(t *testing.T) {
+	if PaperWorkload.Outputs() != 2621440*240 {
+		t.Fatal("outputs")
+	}
+	gb := float64(PaperWorkload.Bytes()) / 1e9
+	if math.Abs(gb-2.5166) > 0.01 {
+		t.Fatalf("data set %.3f GB, paper says ~2.5 GB", gb)
+	}
+}
+
+func TestTransferOnlyRuntimeValue(t *testing.T) {
+	m := DefaultMemController()
+	rt, err := m.TransferOnlyRuntime(PaperWorkload.Bytes(), 2048, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt < 500*time.Millisecond || rt > 800*time.Millisecond {
+		t.Fatalf("saturated transfer-only runtime %v implausible", rt)
+	}
+}
+
+func BenchmarkKernelRuntimeModel(b *testing.B) {
+	d := DefaultDevice()
+	for i := 0; i < b.N; i++ {
+		_, _ = d.KernelRuntime(PaperWorkload, 6, 0.303, 64)
+	}
+}
+
+func BenchmarkPlaceAndRoute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = PlaceAndRoute(normal.MarsagliaBray, mt.MT19937Params, 0)
+	}
+}
+
+// TestMultiChannelExtension models the conclusion's future-work claim:
+// with a second memory channel, the transfer bound doubles and Config3/4
+// flips to compute-bound, recovering most of the Eq. (1) headroom
+// (642 ms → ≈ the 422 ms-region theoretical value).
+func TestMultiChannelExtension(t *testing.T) {
+	d := DefaultDevice()
+	base, err := d.KernelRuntime(PaperWorkload, 8, 0.023, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ComputeBound {
+		t.Fatal("single-channel Config3/4 must be transfer-bound")
+	}
+	d.Mem.Channels = 2
+	dual, err := d.KernelRuntime(PaperWorkload, 8, 0.023, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dual.ComputeBound {
+		t.Fatal("dual-channel Config3/4 should become compute-bound")
+	}
+	if dual.Runtime >= base.Runtime {
+		t.Fatalf("second channel did not help: %v vs %v", dual.Runtime, base.Runtime)
+	}
+	ms := dual.Runtime.Seconds() * 1000
+	if ms < 380 || ms > 460 {
+		t.Fatalf("dual-channel runtime %.0f ms, expected near the Eq. (1) compute time (~410 ms)", ms)
+	}
+	// Config1/2 is already compute-bound; the second channel must not
+	// change its runtime materially.
+	d1 := DefaultDevice()
+	b1, _ := d1.KernelRuntime(PaperWorkload, 6, 0.303, 64)
+	d1.Mem.Channels = 2
+	b2, _ := d1.KernelRuntime(PaperWorkload, 6, 0.303, 64)
+	if rel := math.Abs(b2.Runtime.Seconds()-b1.Runtime.Seconds()) / b1.Runtime.Seconds(); rel > 0.03 {
+		t.Fatalf("compute-bound Config1 changed by %.1f%% with a second channel", 100*rel)
+	}
+}

@@ -1,0 +1,92 @@
+package hls
+
+import "fmt"
+
+// This file simulates the control mechanics of Listing 2's MAINLOOP — a
+// pipelined loop whose exit condition depends on a counter incremented
+// inside a divergent branch:
+//
+//	MAINLOOP: for (k=0; (k<limitMax) && (prevCounter[breakId]<limitMain); ++k) {
+//	    #pragma HLS pipeline II=1
+//	    UpdateRegUI(breakId, counter, prevCounter);
+//	    ...
+//	    if (gRN_ok && (counter<limitMain)) { write; ++counter; }
+//	}
+//
+// Two properties matter and are both verified by the test suite:
+//
+//  1. Exactness: the guarded write (`counter < limitMain`) means exactly
+//     limitMain outputs are emitted even though the loop keeps running
+//     for a few extra iterations after the quota is reached (the delayed
+//     exit test observes a stale counter).
+//  2. Bounded overshoot: the number of extra iterations is at most the
+//     delay depth plus the iterations until the next exit evaluation —
+//     a constant — so the throughput cost of the workaround is O(1) per
+//     SECLOOP iteration, not O(limitMain).
+
+// DynamicLoopResult summarizes one simulated MAINLOOP run.
+type DynamicLoopResult struct {
+	// Trips is the number of loop iterations actually executed.
+	Trips int64
+	// Emitted is the number of valid outputs written to the stream.
+	Emitted int64
+	// Overshoot counts the iterations executed after the output quota
+	// was logically reached (the price of the delayed exit test).
+	Overshoot int64
+	// HitLimitMax reports that the k<limitMax guard fired before the
+	// quota was reached (the stochastic process starved the loop).
+	HitLimitMax bool
+}
+
+// SimulateDynamicExit runs the MAINLOOP control mechanics with a caller-
+// supplied validity process: valid(k) reports whether iteration k's
+// candidate passed all rejection stages. breakID selects the delay depth
+// of the counter read used in the exit condition, exactly as in
+// Listing 2. emit, when non-nil, is invoked for every accepted output
+// with its iteration index.
+func SimulateDynamicExit(limitMain, limitMax int64, breakID int, valid func(k int64) bool, emit func(k int64)) (DynamicLoopResult, error) {
+	if limitMain < 0 || limitMax < 0 {
+		return DynamicLoopResult{}, fmt.Errorf("hls: negative loop limits (%d, %d)", limitMain, limitMax)
+	}
+	var res DynamicLoopResult
+	reg := NewRegDelay(breakID)
+	var counter uint32
+	quotaAt := int64(-1) // iteration at which the quota was reached
+
+	var k int64
+	for k = 0; k < limitMax && int64(reg.Delayed()) < limitMain; k++ {
+		// UpdateRegUI runs at the top of the body: the exit test of the
+		// *next* iteration sees the counter as of the start of this one.
+		reg.Update(counter)
+
+		if valid(k) && int64(counter) < limitMain {
+			if emit != nil {
+				emit(k)
+			}
+			counter++
+			res.Emitted++
+			if int64(counter) == limitMain {
+				quotaAt = k
+			}
+		}
+		res.Trips++
+	}
+	if quotaAt >= 0 {
+		res.Overshoot = res.Trips - (quotaAt + 1)
+	}
+	res.HitLimitMax = k >= limitMax && int64(counter) < limitMain
+	return res, nil
+}
+
+// MaxOvershoot returns the number of extra iterations the delayed exit
+// executes after the quota is reached (when limitMax does not truncate
+// first): the counter value written in the quota iteration k enters the
+// delay line at the top of iteration k+1 and needs breakID further shifts
+// before the exit test can observe it, so iterations k+1 .. k+breakID+1
+// still run — breakID+1 extra trips.
+func MaxOvershoot(breakID int) int64 {
+	if breakID < 0 {
+		breakID = 0
+	}
+	return int64(breakID) + 1
+}

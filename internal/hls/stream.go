@@ -1,0 +1,170 @@
+// Package hls models the high-level-synthesis constructs the paper's FPGA
+// design is built from (Xilinx Vivado HLS via SDAccel, Section II-A):
+//
+//   - Stream: a bounded blocking FIFO equivalent to hls::stream, the
+//     single-producer/single-consumer channel that the DATAFLOW pragma
+//     requires between the GammaRNG and Transfer processes (Listing 1).
+//   - RegDelay: the completely partitioned delay-register array of
+//     Listing 2 (`prevCounter[breakId]` updated by `UpdateRegUI`), which
+//     breaks the loop-carried dependency on the output counter.
+//   - Dependence/ScheduleII: the initiation-interval arithmetic an HLS
+//     scheduler performs over loop-carried dependencies — this is where
+//     the paper's II=1 claim is made checkable.
+//   - PipelinedLoop: latency/II → total cycle count for a pipelined loop.
+//   - Dataflow: a process network runner (goroutines joined with error
+//     collection), standing in for `#pragma HLS DATAFLOW`.
+package hls
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStreamClosed is returned by Read after the producer closed the
+// stream and the buffer drained, and by Write on a closed stream.
+var ErrStreamClosed = errors.New("hls: stream closed")
+
+// Stream is a bounded blocking FIFO — the software analogue of
+// hls::stream<T>. Like its hardware counterpart it is intended for a
+// single producer and a single consumer; unlike a raw Go channel it
+// supports non-blocking probes (Empty/Full/TryRead) that the cycle-level
+// simulations use, and records high-water occupancy so tests can verify
+// the interleaving claims of Fig. 3.
+type Stream[T any] struct {
+	ch     chan T
+	name   string
+	mu     sync.Mutex
+	closed bool
+	// Telemetry (guarded by mu).
+	writes    uint64
+	reads     uint64
+	highWater int
+}
+
+// NewStream creates a stream with the given FIFO depth (≥1) and a
+// diagnostic name.
+func NewStream[T any](name string, depth int) *Stream[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Stream[T]{ch: make(chan T, depth), name: name}
+}
+
+// Name returns the diagnostic name.
+func (s *Stream[T]) Name() string { return s.name }
+
+// Depth returns the FIFO capacity.
+func (s *Stream[T]) Depth() int { return cap(s.ch) }
+
+// Write blocks until there is space, then enqueues v. Writing to a
+// closed stream panics with ErrStreamClosed (a design error, as in HLS).
+func (s *Stream[T]) Write(v T) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(fmt.Errorf("%w: write on closed stream %q", ErrStreamClosed, s.name))
+	}
+	s.writes++
+	s.mu.Unlock()
+	s.ch <- v
+	s.mu.Lock()
+	if n := len(s.ch); n > s.highWater {
+		s.highWater = n
+	}
+	s.mu.Unlock()
+}
+
+// Read blocks until a value is available and returns it; after Close and
+// drain it returns ErrStreamClosed.
+func (s *Stream[T]) Read() (T, error) {
+	v, ok := <-s.ch
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%w: read on drained stream %q", ErrStreamClosed, s.name)
+	}
+	s.mu.Lock()
+	s.reads++
+	s.mu.Unlock()
+	return v, nil
+}
+
+// MustRead is Read for contexts where closure is a programming error.
+func (s *Stream[T]) MustRead() T {
+	v, err := s.Read()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryRead returns a value if one is immediately available.
+func (s *Stream[T]) TryRead() (T, bool) {
+	select {
+	case v, ok := <-s.ch:
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		s.mu.Lock()
+		s.reads++
+		s.mu.Unlock()
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Close marks the producer side finished; the consumer can drain the
+// remaining values. Closing twice is a no-op.
+func (s *Stream[T]) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// Stats returns (writes, reads, high-water occupancy).
+func (s *Stream[T]) Stats() (writes, reads uint64, highWater int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes, s.reads, s.highWater
+}
+
+// RegDelay is the completely partitioned delay register array of
+// Listing 2: a shift register of BreakID+1 stages. Each Update call
+// models one `UpdateRegUI(breakId, counter, prevCounter)` invocation at
+// the top of the pipelined loop: the current counter enters stage 0 and
+// the oldest value becomes readable at index BreakID. Reading the counter
+// through the delay line lengthens the loop-carried dependency distance,
+// which is exactly what restores II=1 (see ScheduleII).
+type RegDelay struct {
+	regs []uint32
+}
+
+// NewRegDelay builds a delay line with breakID+1 stages, initialized to
+// zero (matching the `unsigned int prevCounter[breakId+1]` array whose
+// contents start below any loop limit).
+func NewRegDelay(breakID int) *RegDelay {
+	if breakID < 0 {
+		breakID = 0
+	}
+	return &RegDelay{regs: make([]uint32, breakID+1)}
+}
+
+// Update shifts the line and inserts the current value at stage 0.
+func (r *RegDelay) Update(current uint32) {
+	copy(r.regs[1:], r.regs[:len(r.regs)-1])
+	r.regs[0] = current
+}
+
+// Delayed returns the value at the last stage — `prevCounter[breakId]` —
+// i.e. the counter as it was len(regs) iterations ago (one iteration ago
+// for breakID = 0, since Update runs before the loop test uses it).
+func (r *RegDelay) Delayed() uint32 { return r.regs[len(r.regs)-1] }
+
+// Stages returns the number of delay stages (BreakID+1).
+func (r *RegDelay) Stages() int { return len(r.regs) }

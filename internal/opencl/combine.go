@@ -1,0 +1,85 @@
+package opencl
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the two read-back strategies of Section III-E.
+// With N decoupled work-items each owning its own pointer into device
+// global memory, the host must end up with one contiguous buffer of
+// length L:
+//
+//  1. Combining at host level: N device buffers of length L/N, N read
+//     requests, each landing at offset wid·L/N of the host buffer. Pays
+//     the per-request PCIe overhead N times.
+//  2. Combining at device level: one device buffer of length L handed to
+//     the kernel N times; each work-item offsets by wid (Listing 4).
+//     One read request. This is the strategy the paper selects ("less
+//     than 1 % loss" on the device side, a single read on the host side).
+
+// CombineResult reports one strategy's outcome.
+type CombineResult struct {
+	Strategy     string
+	ReadRequests int
+	// SimTime is the simulated device/PCIe time of the read-back phase.
+	SimTime time.Duration
+}
+
+// CombineAtHost implements strategy 1 over an already-populated set of N
+// per-work-item device buffers: one read request per buffer into the
+// destination slice at offset wid·(L/N).
+func CombineAtHost(q *CommandQueue, deviceBuffers []*Buffer, host []float32) (CombineResult, error) {
+	if len(deviceBuffers) == 0 {
+		return CombineResult{}, fmt.Errorf("opencl: no device buffers to combine")
+	}
+	before := q.SimClock()
+	var events []*Event
+	var hostOff int64
+	for _, b := range deviceBuffers {
+		elems := b.Float32Len()
+		ev, err := q.EnqueueReadBuffer(b, 0, host, hostOff, elems)
+		if err != nil {
+			return CombineResult{}, err
+		}
+		events = append(events, ev)
+		hostOff += elems
+	}
+	if hostOff != int64(len(host)) {
+		return CombineResult{}, fmt.Errorf("opencl: device buffers hold %d floats, host expects %d", hostOff, len(host))
+	}
+	for _, ev := range events {
+		if err := ev.Wait(); err != nil {
+			return CombineResult{}, err
+		}
+	}
+	return CombineResult{
+		Strategy:     "host-level",
+		ReadRequests: len(deviceBuffers),
+		SimTime:      q.SimClock() - before,
+	}, nil
+}
+
+// CombineAtDevice implements strategy 2: a single device buffer holding
+// all work-items' blocks, read back with one request.
+func CombineAtDevice(q *CommandQueue, deviceBuffer *Buffer, host []float32) (CombineResult, error) {
+	if deviceBuffer == nil {
+		return CombineResult{}, fmt.Errorf("opencl: nil device buffer")
+	}
+	if deviceBuffer.Float32Len() != int64(len(host)) {
+		return CombineResult{}, fmt.Errorf("opencl: buffer holds %d floats, host expects %d", deviceBuffer.Float32Len(), len(host))
+	}
+	before := q.SimClock()
+	ev, err := q.EnqueueReadBuffer(deviceBuffer, 0, host, 0, int64(len(host)))
+	if err != nil {
+		return CombineResult{}, err
+	}
+	if err := ev.Wait(); err != nil {
+		return CombineResult{}, err
+	}
+	return CombineResult{
+		Strategy:     "device-level",
+		ReadRequests: 1,
+		SimTime:      q.SimClock() - before,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Context is the cl_context analogue: it owns the devices it was created
+// against, tracks the buffers and queues allocated through it, and
+// releases them together. The experiment harness uses one context per
+// host+accelerator combination of Section IV-A.
+type Context struct {
+	devices []*Device
+
+	mu       sync.Mutex
+	queues   []*CommandQueue
+	buffers  []*Buffer
+	released bool
+}
+
+// CreateContext builds a context over the given devices.
+func CreateContext(devices ...*Device) (*Context, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("opencl: a context needs at least one device")
+	}
+	for i, d := range devices {
+		if d == nil {
+			return nil, fmt.Errorf("opencl: nil device %d", i)
+		}
+	}
+	return &Context{devices: append([]*Device(nil), devices...)}, nil
+}
+
+// Devices returns the context's devices.
+func (c *Context) Devices() []*Device { return append([]*Device(nil), c.devices...) }
+
+// contains reports whether d belongs to the context.
+func (c *Context) contains(d *Device) bool {
+	for _, cd := range c.devices {
+		if cd == d {
+			return true
+		}
+	}
+	return false
+}
+
+// CreateQueue builds an in-order command queue on one of the context's
+// devices.
+func (c *Context) CreateQueue(d *Device) (*CommandQueue, error) {
+	if !c.contains(d) {
+		return nil, fmt.Errorf("opencl: device %q not part of this context", d.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return nil, fmt.Errorf("opencl: context already released")
+	}
+	q, err := NewCommandQueue(d)
+	if err != nil {
+		return nil, err
+	}
+	c.queues = append(c.queues, q)
+	return q, nil
+}
+
+// CreateBuffer allocates a device buffer tracked by the context.
+func (c *Context) CreateBuffer(name string, flags MemFlag, size int64) (*Buffer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return nil, fmt.Errorf("opencl: context already released")
+	}
+	b, err := NewBuffer(name, flags, size)
+	if err != nil {
+		return nil, err
+	}
+	c.buffers = append(c.buffers, b)
+	return b, nil
+}
+
+// Allocated returns the total bytes of live buffer allocations.
+func (c *Context) Allocated() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, b := range c.buffers {
+		n += b.Size()
+	}
+	return n
+}
+
+// Release drains and shuts down every queue created through the context
+// and drops the buffer references. Idempotent.
+func (c *Context) Release() error {
+	c.mu.Lock()
+	if c.released {
+		c.mu.Unlock()
+		return nil
+	}
+	c.released = true
+	queues := c.queues
+	c.queues = nil
+	c.buffers = nil
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, q := range queues {
+		if err := q.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,209 @@
+package opencl
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestContextLifecycle(t *testing.T) {
+	p := PaperPlatform()
+	fpgaDev, _ := p.DeviceByName("FPGA")
+	cpuDev, _ := p.DeviceByName("CPU")
+
+	ctx, err := CreateContext(fpgaDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Devices()) != 1 {
+		t.Fatal("devices")
+	}
+	q, err := ctx.CreateQueue(fpgaDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateQueue(cpuDev); err == nil {
+		t.Fatal("queue on foreign device should fail")
+	}
+	b, err := ctx.CreateBuffer("data", ReadWrite, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Allocated() != 1024 {
+		t.Fatalf("allocated %d", ctx.Allocated())
+	}
+	ev, err := q.EnqueueWriteBuffer(b, 0, []float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateBuffer("late", ReadWrite, 8); err == nil {
+		t.Fatal("allocation after release should fail")
+	}
+	if _, err := ctx.CreateQueue(fpgaDev); err == nil {
+		t.Fatal("queue after release should fail")
+	}
+	if _, err := CreateContext(); err == nil {
+		t.Fatal("empty context should fail")
+	}
+	if _, err := CreateContext(nil); err == nil {
+		t.Fatal("nil device should fail")
+	}
+}
+
+// TestWaitListOrdering: a kernel with a wait list starts — on the
+// simulated timeline too — after its dependency from another queue.
+func TestWaitListOrdering(t *testing.T) {
+	p := PaperPlatform()
+	d, _ := p.DeviceByName("FPGA")
+	q1, _ := NewCommandQueue(d)
+	q2, _ := NewCommandQueue(d)
+	defer q1.Release()
+	defer q2.Release()
+
+	slow := &Kernel{
+		Name:  "producer",
+		Run:   func(NDRange) error { return nil },
+		Model: func(NDRange) time.Duration { return 50 * time.Millisecond },
+	}
+	evA, err := q1.EnqueueTask(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer := &Kernel{
+		Name:  "consumer",
+		Run:   func(NDRange) error { return nil },
+		Model: func(NDRange) time.Duration { return 10 * time.Millisecond },
+	}
+	evB, err := q2.EnqueueNDRangeWait(consumer, TaskRange, evA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evB.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sA, eA, _ := evA.ProfilingInfo()
+	sB, eB, _ := evB.ProfilingInfo()
+	_ = sA
+	if sB < eA {
+		t.Fatalf("consumer started at %v before producer ended at %v", sB, eA)
+	}
+	if eB-sB != 10*time.Millisecond {
+		t.Fatalf("consumer duration %v", eB-sB)
+	}
+}
+
+// TestWaitListFailurePropagation: a failed dependency aborts the waiting
+// command.
+func TestWaitListFailurePropagation(t *testing.T) {
+	p := PaperPlatform()
+	d, _ := p.DeviceByName("GPU")
+	q, _ := NewCommandQueue(d)
+	defer q.Release()
+
+	boom := errors.New("bad kernel")
+	evA, err := q.EnqueueTask(&Kernel{Name: "boom", Run: func(NDRange) error { return boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	evB, err := q.EnqueueNDRangeWait(&Kernel{
+		Name: "dependent",
+		Run:  func(NDRange) error { ran = true; return nil },
+	}, TaskRange, evA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evB.Wait(); err == nil {
+		t.Fatal("dependent command should abort")
+	}
+	if ran {
+		t.Fatal("dependent kernel body must not run")
+	}
+	if evB.Status() != Failed {
+		t.Fatal("status")
+	}
+	// Nil events in wait lists are rejected up front.
+	if _, err := q.EnqueueNDRangeWait(&Kernel{Name: "x", Run: func(NDRange) error { return nil }}, TaskRange, nil); err == nil {
+		t.Fatal("nil wait event should fail")
+	}
+}
+
+// TestMarker: the marker event carries the prior commands' completion.
+func TestMarker(t *testing.T) {
+	p := PaperPlatform()
+	d, _ := p.DeviceByName("PHI")
+	q, _ := NewCommandQueue(d)
+	defer q.Release()
+
+	k := &Kernel{
+		Name:  "work",
+		Run:   func(NDRange) error { return nil },
+		Model: func(NDRange) time.Duration { return 5 * time.Millisecond },
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.EnqueueTask(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := q.EnqueueMarker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	_, end, err := m.ProfilingInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 15*time.Millisecond {
+		t.Fatalf("marker at %v, want after the 3×5 ms of prior work", end)
+	}
+}
+
+// TestReadBufferWaitList: reads honour wait lists too (the combining
+// helpers rely on kernel→read ordering).
+func TestReadBufferWaitList(t *testing.T) {
+	p := PaperPlatform()
+	d, _ := p.DeviceByName("FPGA")
+	q, _ := NewCommandQueue(d)
+	defer q.Release()
+	b, _ := NewBuffer("data", ReadWrite, 16)
+
+	kernel := &Kernel{
+		Name: "fill",
+		Run: func(NDRange) error {
+			return b.WriteFloat32s(0, []float32{7, 8, 9, 10})
+		},
+		Model: func(NDRange) time.Duration { return 20 * time.Millisecond },
+	}
+	evK, err := q.EnqueueTask(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float32, 4)
+	evR, err := q.EnqueueReadBuffer(b, 0, host, 0, 4, evK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evR.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if host[0] != 7 || host[3] != 10 {
+		t.Fatalf("host %v", host)
+	}
+	sR, _, _ := evR.ProfilingInfo()
+	_, eK, _ := evK.ProfilingInfo()
+	if sR < eK {
+		t.Fatalf("read started before kernel ended")
+	}
+}

@@ -1,0 +1,403 @@
+package opencl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPlatformAndDevices(t *testing.T) {
+	p := PaperPlatform()
+	if got := len(p.Devices(-1)); got != 4 {
+		t.Fatalf("devices %d", got)
+	}
+	if d := p.Devices(DeviceFPGA); len(d) != 1 || d[0].Name != "FPGA" {
+		t.Fatalf("FPGA filter %v", d)
+	}
+	if _, err := p.DeviceByName("GPU"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeviceByName("TPU"); err == nil {
+		t.Fatal("unknown device should fail")
+	}
+	if _, err := NewPlatform("empty"); err == nil {
+		t.Fatal("empty platform should fail")
+	}
+	for k, want := range map[DeviceKind]string{
+		DeviceCPU: "CPU", DeviceGPU: "GPU", DeviceAccelerator: "ACCELERATOR",
+		DeviceFPGA: "FPGA", DeviceKind(9): "UNKNOWN",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d → %q", k, k.String())
+		}
+	}
+}
+
+func TestNDRangeValidation(t *testing.T) {
+	if err := (NDRange{GlobalSize: 65536, LocalSize: 64}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []NDRange{
+		{GlobalSize: 0, LocalSize: 1},
+		{GlobalSize: 16, LocalSize: 0},
+		{GlobalSize: 100, LocalSize: 64},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should fail", bad)
+		}
+	}
+	if (NDRange{GlobalSize: 65536, LocalSize: 64}).WorkGroups() != 1024 {
+		t.Fatal("work-group count")
+	}
+	if TaskRange.WorkGroups() != 1 {
+		t.Fatal("task range")
+	}
+}
+
+func TestBufferBasics(t *testing.T) {
+	b, err := NewBuffer("out", WriteOnly, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 64 || b.Float32Len() != 16 || b.Name() != "out" || b.Flags() != WriteOnly {
+		t.Fatal("metadata wrong")
+	}
+	if _, err := NewBuffer("bad", ReadWrite, 0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if err := b.SetFloat32(3, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.Float32At(3); err != nil || v != 2.5 {
+		t.Fatalf("round trip %v %v", v, err)
+	}
+	if _, err := b.Float32At(16); err == nil {
+		t.Fatal("out of range read should fail")
+	}
+	if err := b.SetFloat32(-1, 0); err == nil {
+		t.Fatal("negative index should fail")
+	}
+}
+
+func TestBufferBulkAndSub(t *testing.T) {
+	b, _ := NewBuffer("data", ReadWrite, 40)
+	src := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if err := b.WriteFloat32s(0, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 10)
+	if err := b.ReadFloat32s(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("slot %d: %g vs %g", i, src[i], dst[i])
+		}
+	}
+	if err := b.WriteFloat32s(8, src); err == nil {
+		t.Fatal("overflow write should fail")
+	}
+	sub, err := b.SubBuffer("view", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sub.Float32At(0); v != 3 {
+		t.Fatalf("sub view misaligned: %g", v)
+	}
+	if _, err := b.SubBuffer("bad", 32, 16); err == nil {
+		t.Fatal("out-of-range sub-buffer should fail")
+	}
+}
+
+func TestBufferFloatRoundTripProperty(t *testing.T) {
+	b, _ := NewBuffer("prop", ReadWrite, 4)
+	f := func(bits uint32) bool {
+		v := math.Float32frombits(bits)
+		if err := b.SetFloat32(0, v); err != nil {
+			return false
+		}
+		got, err := b.Float32At(0)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(float64(v)) {
+			return math.IsNaN(float64(got))
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueInOrderExecution(t *testing.T) {
+	q, err := NewCommandQueue(PaperPlatform().Devices(DeviceFPGA)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Release()
+	var order []int
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		ev, err := q.enqueue(fmt.Sprintf("cmd%d", i), time.Millisecond, nil, func() error {
+			order = append(order, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v", order)
+		}
+	}
+	// Profiling timestamps are contiguous on the simulated clock.
+	var prevEnd time.Duration
+	for i, ev := range events {
+		s, e, err := ev.ProfilingInfo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != prevEnd {
+			t.Fatalf("event %d starts at %v, want %v", i, s, prevEnd)
+		}
+		if e-s != time.Millisecond {
+			t.Fatalf("event %d duration %v", i, e-s)
+		}
+		prevEnd = e
+	}
+	if q.SimClock() != 10*time.Millisecond {
+		t.Fatalf("sim clock %v", q.SimClock())
+	}
+}
+
+func TestQueueAsyncAndFailure(t *testing.T) {
+	q, _ := NewCommandQueue(PaperPlatform().Devices(DeviceGPU)[0])
+	defer q.Release()
+	boom := errors.New("kernel fault")
+	k := &Kernel{
+		Name: "fail",
+		Run:  func(NDRange) error { return boom },
+	}
+	ev, err := q.EnqueueTask(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("want kernel fault, got %v", err)
+	}
+	if ev.Status() != Failed {
+		t.Fatal("status should be Failed")
+	}
+	// Profiling before completion fails.
+	ev2 := &Event{name: "raw", done: make(chan struct{})}
+	if _, _, err := ev2.ProfilingInfo(); err == nil {
+		t.Fatal("profiling before completion should fail")
+	}
+}
+
+func TestKernelModelFeedsProfiling(t *testing.T) {
+	q, _ := NewCommandQueue(PaperPlatform().Devices(DeviceFPGA)[0])
+	defer q.Release()
+	k := &Kernel{
+		Name:  "gamma",
+		Run:   func(NDRange) error { return nil },
+		Model: func(NDRange) time.Duration { return 701 * time.Millisecond },
+	}
+	ev, err := q.EnqueueTask(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ev.Duration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 701*time.Millisecond {
+		t.Fatalf("profiled duration %v", d)
+	}
+	// Nil kernel and bad ranges are rejected at enqueue time.
+	if _, err := q.EnqueueNDRange(nil, TaskRange); err == nil {
+		t.Fatal("nil kernel should fail")
+	}
+	if _, err := q.EnqueueNDRange(k, NDRange{GlobalSize: 3, LocalSize: 2}); err == nil {
+		t.Fatal("bad range should fail")
+	}
+}
+
+func TestReadWriteBufferCommands(t *testing.T) {
+	q, _ := NewCommandQueue(PaperPlatform().Devices(DeviceFPGA)[0])
+	defer q.Release()
+	b, _ := NewBuffer("io", ReadWrite, 4*8)
+	src := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	ev, err := q.EnqueueWriteBuffer(b, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float32, 8)
+	ev, err = q.EnqueueReadBuffer(b, 0, host, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if host[i] != src[i] {
+			t.Fatalf("slot %d", i)
+		}
+	}
+	// Access-mode enforcement.
+	ro, _ := NewBuffer("ro", ReadOnly, 16)
+	if _, err := q.EnqueueReadBuffer(ro, 0, host, 0, 1); !errors.Is(err, ErrAccessViolation) {
+		t.Fatalf("read of ReadOnly: %v", err)
+	}
+	wo, _ := NewBuffer("wo", WriteOnly, 16)
+	if _, err := q.EnqueueWriteBuffer(wo, 0, src[:1]); !errors.Is(err, ErrAccessViolation) {
+		t.Fatalf("write of WriteOnly: %v", err)
+	}
+	if _, err := q.EnqueueReadBuffer(b, 0, host, 4, 8); err == nil {
+		t.Fatal("host overflow should fail")
+	}
+}
+
+// TestCombineStrategies reproduces Section III-E: both strategies deliver
+// identical host data; host-level combining pays N read-request
+// overheads, device-level pays one; device-level is therefore faster on
+// the simulated link.
+func TestCombineStrategies(t *testing.T) {
+	const n = 6
+	const per = 1024 // floats per work-item
+
+	dev := PaperPlatform().Devices(DeviceFPGA)[0]
+
+	// Strategy 1: N separate device buffers.
+	q1, _ := NewCommandQueue(dev)
+	defer q1.Release()
+	var bufs []*Buffer
+	for w := 0; w < n; w++ {
+		b, _ := NewBuffer(fmt.Sprintf("wi%d", w), ReadWrite, per*4)
+		vals := make([]float32, per)
+		for i := range vals {
+			vals[i] = float32(w*per + i)
+		}
+		if err := b.WriteFloat32s(0, vals); err != nil {
+			t.Fatal(err)
+		}
+		bufs = append(bufs, b)
+	}
+	host1 := make([]float32, n*per)
+	r1, err := CombineAtHost(q1, bufs, host1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReadRequests != n {
+		t.Fatalf("host-level requests %d", r1.ReadRequests)
+	}
+
+	// Strategy 2: one device buffer with per-wid offsets.
+	q2, _ := NewCommandQueue(dev)
+	defer q2.Release()
+	single, _ := NewBuffer("combined", ReadWrite, n*per*4)
+	for w := 0; w < n; w++ {
+		vals := make([]float32, per)
+		for i := range vals {
+			vals[i] = float32(w*per + i)
+		}
+		if err := single.WriteFloat32s(int64(w*per), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reset the clock influence of the writes by measuring only reads:
+	// CombineAtDevice measures deltas internally.
+	host2 := make([]float32, n*per)
+	r2, err := CombineAtDevice(q2, single, host2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReadRequests != 1 {
+		t.Fatalf("device-level requests %d", r2.ReadRequests)
+	}
+
+	for i := range host1 {
+		if host1[i] != host2[i] {
+			t.Fatalf("strategies disagree at %d: %g vs %g", i, host1[i], host2[i])
+		}
+		if host1[i] != float32(i) {
+			t.Fatalf("data wrong at %d: %g", i, host1[i])
+		}
+	}
+	// Device-level must be faster by ≈(N−1)·requestOverhead.
+	if r2.SimTime >= r1.SimTime {
+		t.Fatalf("device-level %v not faster than host-level %v", r2.SimTime, r1.SimTime)
+	}
+	saved := (r1.SimTime - r2.SimTime).Seconds()
+	wantSaved := float64(n-1) * dev.PCIe.RequestOverhead
+	if math.Abs(saved-wantSaved)/wantSaved > 0.05 {
+		t.Fatalf("saving %gs, want ≈%gs", saved, wantSaved)
+	}
+
+	// Error paths.
+	if _, err := CombineAtHost(q1, nil, host1); err == nil {
+		t.Fatal("no buffers should fail")
+	}
+	if _, err := CombineAtDevice(q2, single, host2[:10]); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+	short := make([]float32, n*per-1)
+	if _, err := CombineAtHost(q1, bufs, short); err == nil {
+		t.Fatal("host size mismatch should fail")
+	}
+}
+
+func TestQueueReleaseRejectsFurtherWork(t *testing.T) {
+	q, _ := NewCommandQueue(PaperPlatform().Devices(DeviceCPU)[0])
+	if err := q.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueTask(&Kernel{Name: "late", Run: func(NDRange) error { return nil }}); err == nil {
+		t.Fatal("enqueue after release should fail")
+	}
+}
+
+func TestPCIeModel(t *testing.T) {
+	m := PCIeModel{BandwidthGBs: 6, RequestOverhead: 30e-6}
+	if got := m.TransferTime(0); got != 30e-6 {
+		t.Fatalf("empty transfer %g", got)
+	}
+	if got := m.TransferTime(6e9); math.Abs(got-(1+30e-6)) > 1e-9 {
+		t.Fatalf("6 GB transfer %g", got)
+	}
+	if got := m.TransferTime(-5); got != 30e-6 {
+		t.Fatalf("negative bytes %g", got)
+	}
+}
+
+func BenchmarkQueueEnqueueWait(b *testing.B) {
+	q, _ := NewCommandQueue(PaperPlatform().Devices(DeviceFPGA)[0])
+	defer q.Release()
+	k := &Kernel{Name: "noop", Run: func(NDRange) error { return nil }}
+	for i := 0; i < b.N; i++ {
+		ev, err := q.EnqueueTask(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ev.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

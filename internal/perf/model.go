@@ -1,0 +1,138 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/decwi/decwi/internal/fpga"
+)
+
+// CyclesPerIteration returns the sustained per-lane cost of one pipeline
+// iteration of configuration c on platform p: the gated Mersenne-Twister
+// draws plus the transform/gamma datapath body.
+func (p Platform) CyclesPerIteration(c KernelConfig, style ICDFStyle) (float64, error) {
+	body, err := p.body(c, style)
+	if err != nil {
+		return 0, err
+	}
+	return c.UniformDrawsPerIteration()*p.mtDraw(c.BigMT()) + body, nil
+}
+
+// DivergenceInflation estimates the lockstep max-over-lanes factor for a
+// partition of the given width whose lanes each need quota outputs at
+// rejection rate r: lane iterations are negative-binomial with mean
+// μ = quota·(1+r) and sd σ = sqrt(quota·r(1+r)); the partition runs
+// E[max over width lanes] ≈ μ + σ·sqrt(2·ln width) steps (Gumbel
+// approximation). The returned factor is E[max]/μ ≥ 1.
+//
+// internal/simt measures the same quantity empirically from the real
+// generators; the analytic form is used in the runtime models because the
+// paper's quotas (9600 outputs per work-item) make simulation needlessly
+// expensive while the factor concentrates to ~1.01. The simt tests pin
+// the two against each other at small quotas.
+func DivergenceInflation(width int, rejectionRate float64, quota int64) float64 {
+	if width <= 1 || quota <= 0 || rejectionRate <= 0 {
+		return 1
+	}
+	r := rejectionRate
+	mu := float64(quota) * (1 + r)
+	sigma := math.Sqrt(float64(quota) * r * (1 + r))
+	return 1 + sigma*math.Sqrt(2*math.Log(float64(width)))/mu
+}
+
+// localSizeFactor models the Fig. 5a shape: work-groups are executed by
+// one compute unit in vector batches of PartitionWidth lanes.
+//
+//   - localSize below the native width pads the vector (idle lanes):
+//     factor Width/localSize;
+//   - many small groups pay per-group launch overhead: Overhead/localSize;
+//   - groups larger than the native width raise per-unit resource
+//     pressure: OccupancyPenalty per extra batch.
+//
+// The factor is normalized to 1 at the platform's optimum so that the
+// Table III model is exactly the optimally tuned configuration, as in the
+// paper ("given the optimal localSize per platform").
+func (p Platform) localSizeFactor(localSize int) (float64, error) {
+	if localSize < 1 {
+		return 0, fmt.Errorf("perf: localSize must be ≥ 1, got %d", localSize)
+	}
+	raw := func(ls float64) float64 {
+		w := float64(p.PartitionWidth)
+		pad := 1.0
+		if ls < w {
+			pad = w / ls
+		}
+		return pad + p.LaunchOverheadPerGroup/ls + p.OccupancyPenalty*math.Max(0, ls/w-1)
+	}
+	return raw(float64(localSize)) / raw(float64(p.OptimalLocalSize)), nil
+}
+
+// globalSizeFactor models the Fig. 5b shape: below SaturationWI in-flight
+// work-items the device cannot hide latency (factor Saturation/globalSize);
+// beyond it the curve is flat up to a negligible per-work-item launch
+// term. Normalized to 1 at the paper's chosen globalSize of 65536.
+func (p Platform) globalSizeFactor(globalSize int) (float64, error) {
+	if globalSize < 1 {
+		return 0, fmt.Errorf("perf: globalSize must be ≥ 1, got %d", globalSize)
+	}
+	raw := func(gs float64) float64 {
+		under := math.Max(1, float64(p.SaturationWI)/gs)
+		return under + 1e-7*gs
+	}
+	return raw(float64(globalSize)) / raw(65536), nil
+}
+
+// RuntimeDetail is the decomposition of one fixed-platform runtime
+// prediction.
+type RuntimeDetail struct {
+	CyclesPerIter   float64
+	ItersPerOutput  float64
+	Inflation       float64
+	LocalSizeFactor float64
+	GlobalFactor    float64
+	Runtime         time.Duration
+}
+
+// KernelRuntime predicts the kernel runtime of configuration c on fixed
+// platform p for workload w at the given NDRange geometry:
+//
+//	t = outputs·(1+r)·cyclesPerIter / laneThroughput
+//	    · divergenceInflation · localSizeFactor · globalSizeFactor
+func (p Platform) KernelRuntime(w fpga.Workload, c KernelConfig, style ICDFStyle, globalSize, localSize int) (RuntimeDetail, error) {
+	cyc, err := p.CyclesPerIteration(c, style)
+	if err != nil {
+		return RuntimeDetail{}, err
+	}
+	lf, err := p.localSizeFactor(localSize)
+	if err != nil {
+		return RuntimeDetail{}, err
+	}
+	gf, err := p.globalSizeFactor(globalSize)
+	if err != nil {
+		return RuntimeDetail{}, err
+	}
+	it := MeasuredIters(c.Transform)
+	quota := w.Outputs() / int64(globalSize)
+	if quota < 1 {
+		quota = 1
+	}
+	infl := DivergenceInflation(min(localSize, p.PartitionWidth), it.RejectionRate, quota)
+
+	sec := float64(w.Outputs()) * it.ItersPerOutput * cyc / p.LaneThroughput() * infl * lf * gf
+	return RuntimeDetail{
+		CyclesPerIter:   cyc,
+		ItersPerOutput:  it.ItersPerOutput,
+		Inflation:       infl,
+		LocalSizeFactor: lf,
+		GlobalFactor:    gf,
+		Runtime:         time.Duration(sec * float64(time.Second)),
+	}, nil
+}
+
+// TunedRuntime is KernelRuntime at the platform's optimal geometry
+// (Fig. 5's outcome: localSize 8/64/16, globalSize 65536) — the setting
+// Table III reports.
+func (p Platform) TunedRuntime(w fpga.Workload, c KernelConfig, style ICDFStyle) (RuntimeDetail, error) {
+	return p.KernelRuntime(w, c, style, 65536, p.OptimalLocalSize)
+}

@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/decwi/decwi/internal/fpga"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+// Table3Row is one row of the paper's Table III: a configuration (and,
+// for the ICDF configurations, an implementation style on the fixed
+// platforms) with the four platform runtimes.
+type Table3Row struct {
+	Config KernelConfig
+	Style  ICDFStyle
+	// CPU, GPU, PHI are the fixed-platform model predictions; FPGA is
+	// the fpga-device model (identical across ICDF styles — the FPGA
+	// always runs the bit-level unit).
+	CPU, GPU, PHI, FPGA time.Duration
+}
+
+// Label renders the row header as in the paper ("Config3: ICDF
+// CUDA-style").
+func (r Table3Row) Label() string {
+	if r.Style == ICDFStyleNone {
+		return r.Config.Name
+	}
+	return fmt.Sprintf("%s: ICDF %s", r.Config.Name, r.Style)
+}
+
+// FPGABurstRNs is the final design's burst length (4 beats of 16 values —
+// Listing 4's SXTRANSF).
+const FPGABurstRNs = 64
+
+// Table3 regenerates the paper's Table III for the given workload
+// (PaperWorkload for the published numbers): six rows — Config1, Config2,
+// and both ICDF styles of Config3 and Config4.
+func Table3(w fpga.Workload) ([]Table3Row, error) {
+	dev := fpga.DefaultDevice()
+	var rows []Table3Row
+
+	addRow := func(c KernelConfig, style ICDFStyle) error {
+		row := Table3Row{Config: c, Style: style}
+		for _, p := range FixedPlatforms {
+			d, err := p.TunedRuntime(w, c, style)
+			if err != nil {
+				return err
+			}
+			switch p.Name {
+			case "CPU":
+				row.CPU = d.Runtime
+			case "GPU":
+				row.GPU = d.Runtime
+			case "PHI":
+				row.PHI = d.Runtime
+			}
+		}
+		ft, err := dev.KernelRuntime(w, c.FPGAWorkItems, MeasuredIters(c.Transform).RejectionRate, FPGABurstRNs)
+		if err != nil {
+			return err
+		}
+		row.FPGA = ft.Runtime
+		rows = append(rows, row)
+		return nil
+	}
+
+	for _, c := range AllConfigs {
+		if c.Transform == normal.MarsagliaBray {
+			if err := addRow(c, ICDFStyleNone); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, style := range []ICDFStyle{ICDFStyleCUDA, ICDFStyleFPGA} {
+			if err := addRow(c, style); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PaperTable3 holds the published Table III values in milliseconds, used
+// by tests and EXPERIMENTS.md for side-by-side reporting.
+var PaperTable3 = []struct {
+	Label               string
+	CPU, GPU, PHI, FPGA float64 // ms; 0 marks “not reported”
+}{
+	{"Config1", 3825, 2479, 996, 701},
+	{"Config2", 3883, 1011, 696, 701},
+	{"Config3: ICDF CUDA-style", 807, 1177, 555, 642},
+	{"Config3: ICDF FPGA-style", 2794, 1181, 2435, 642},
+	{"Config4: ICDF CUDA-style", 839, 522, 460, 642},
+	{"Config4: ICDF FPGA-style", 2776, 521, 2294, 642},
+}

@@ -1,0 +1,100 @@
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file serializes traces in the format the paper's measurement chain
+// produces: the Voltcraft VC870 streams samples over USB to a logging PC,
+// which stores them as timestamped CSV. Round-tripping through this
+// format lets the post-processing pipeline (Integrate,
+// DynamicEnergyPerInvocation) run on externally captured logs as well as
+// on synthesized traces.
+
+// WriteCSV emits the trace as `seconds,watts` lines with a marker header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# decwi power trace\n")
+	fmt.Fprintf(bw, "# kernel_start_s=%g window_start_s=%g window_end_s=%g kernel_runtime_s=%g\n",
+		tr.KernelStart.Seconds(), tr.WindowStart.Seconds(), tr.WindowEnd.Seconds(), tr.KernelRuntime.Seconds())
+	fmt.Fprintf(bw, "seconds,watts\n")
+	for _, s := range tr.Samples {
+		fmt.Fprintf(bw, "%g,%.1f\n", s.T.Seconds(), s.W)
+	}
+	return bw.Flush()
+}
+
+// ParseCSV reads a trace written by WriteCSV (or an equivalent meter
+// log). Marker metadata is recovered from the header comment when
+// present; a log without markers yields a trace usable for Integrate but
+// not for DynamicEnergyPerInvocation.
+func ParseCSV(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == "seconds,watts" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			parseHeader(text, tr)
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("power: line %d: want `seconds,watts`, got %q", line, text)
+		}
+		sec, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: line %d: bad timestamp: %w", line, err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: line %d: bad wattage: %w", line, err)
+		}
+		t := time.Duration(sec * float64(time.Second))
+		if n := len(tr.Samples); n > 0 && t <= tr.Samples[n-1].T {
+			return nil, fmt.Errorf("power: line %d: timestamps must increase", line)
+		}
+		tr.Samples = append(tr.Samples, Sample{T: t, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.Samples) == 0 {
+		return nil, fmt.Errorf("power: empty trace")
+	}
+	return tr, nil
+}
+
+// parseHeader recovers marker metadata from a header comment.
+func parseHeader(text string, tr *Trace) {
+	for _, field := range strings.Fields(strings.TrimPrefix(text, "#")) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			continue
+		}
+		d := time.Duration(v * float64(time.Second))
+		switch kv[0] {
+		case "kernel_start_s":
+			tr.KernelStart = d
+		case "window_start_s":
+			tr.WindowStart = d
+		case "window_end_s":
+			tr.WindowEnd = d
+		case "kernel_runtime_s":
+			tr.KernelRuntime = d
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/decwi/decwi/internal/fpga"
+	"github.com/decwi/decwi/internal/perf"
+)
+
+// Fig9Cell is one bar of Fig. 9: the derived system-level dynamic energy
+// per kernel invocation for a platform/configuration pair.
+type Fig9Cell struct {
+	Platform string
+	Config   string
+	// Runtime is the Table III runtime used to drive the trace.
+	Runtime time.Duration
+	// EnergyJ is the per-invocation dynamic energy derived through the
+	// full measurement procedure (trace → integrate → subtract idle →
+	// divide by invocations).
+	EnergyJ float64
+}
+
+// fixedStyle returns the ICDF style the paper uses per platform for the
+// energy comparison (CUDA-style on CPU/GPU/PHI, Section IV-B note).
+func fixedStyle(cfg perf.KernelConfig) perf.ICDFStyle {
+	if cfg.Transform == perf.Config1.Transform {
+		return perf.ICDFStyleNone
+	}
+	return perf.ICDFStyleCUDA
+}
+
+// Fig9 regenerates the full figure: for every configuration and platform,
+// synthesize a ≥150 s measurement run at the Table III runtime and the
+// calibrated dynamic power, and push it through the paper's integration
+// procedure.
+func Fig9(w fpga.Workload) ([]Fig9Cell, error) {
+	dev := fpga.DefaultDevice()
+	var out []Fig9Cell
+	for _, cfg := range perf.AllConfigs {
+		runtimes := map[string]time.Duration{}
+		for _, p := range perf.FixedPlatforms {
+			d, err := p.TunedRuntime(w, cfg, fixedStyle(cfg))
+			if err != nil {
+				return nil, err
+			}
+			runtimes[p.Name] = d.Runtime
+		}
+		ft, err := dev.KernelRuntime(w, cfg.FPGAWorkItems,
+			perf.MeasuredIters(cfg.Transform).RejectionRate, perf.FPGABurstRNs)
+		if err != nil {
+			return nil, err
+		}
+		runtimes["FPGA"] = ft.Runtime
+
+		for _, platform := range []string{"CPU", "GPU", "PHI", "FPGA"} {
+			pw, err := DynamicPowerW(platform, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := SynthesizeTrace(pw, runtimes[platform], 150*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			e, err := tr.DynamicEnergyPerInvocation()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig9Cell{
+				Platform: platform, Config: cfg.Name,
+				Runtime: runtimes[platform], EnergyJ: e,
+			})
+		}
+	}
+	return out, nil
+}
+
+// EfficiencyRatio returns E(platform)/E(FPGA) for a configuration in a
+// Fig. 9 result set — the headline numbers of the paper's abstract
+// (up to 9.5x/7.9x/4.1x under Config1, ≥~2.2x everywhere).
+func EfficiencyRatio(cells []Fig9Cell, config, platform string) (float64, error) {
+	var num, den float64
+	for _, c := range cells {
+		if c.Config != config {
+			continue
+		}
+		switch c.Platform {
+		case platform:
+			num = c.EnergyJ
+		case "FPGA":
+			den = c.EnergyJ
+		}
+	}
+	if num == 0 || den == 0 {
+		return 0, fmt.Errorf("power: missing cells for %s/%s", config, platform)
+	}
+	return num / den, nil
+}

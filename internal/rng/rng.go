@@ -1,0 +1,151 @@
+// Package rng defines the interfaces and numeric conversions shared by the
+// random-number-generation stack of the decoupled work-item case study.
+//
+// The paper's application (Section II-D) is a nested random number
+// generator: raw uniform bits come from Mersenne-Twisters, are transformed
+// to normal variates (Marsaglia-Bray or ICDF), and finally drive the
+// Marsaglia-Tsang rejection sampler for gamma variates. Every stage in this
+// repository consumes sources through the small interfaces declared here so
+// that the same algorithm code runs under the FPGA dataflow simulator, the
+// SIMT lockstep simulator, and plain host execution.
+package rng
+
+import "math"
+
+// Source32 yields a stream of raw 32-bit uniform words. It is the
+// lowest-level contract in the stack; both Mersenne-Twister variants and
+// the splittable test doubles implement it.
+type Source32 interface {
+	// Uint32 consumes and returns the next word of the stream.
+	Uint32() uint32
+}
+
+// Peeker32 is implemented by sources whose next output can be observed
+// without consuming it. The paper's adapted Mersenne-Twister (Listing 3)
+// relies on this: the twister output is computed every clock cycle, but the
+// internal state index only advances when an external enable flag is set,
+// so a rejected draw re-reads the same word on the next iteration.
+type Peeker32 interface {
+	// Peek returns the word that the next Uint32 call would return,
+	// without advancing the state.
+	Peek() uint32
+	// Advance consumes the current word, moving the state forward by one.
+	Advance()
+}
+
+// GatedSource32 is the contract of the paper's Listing 3: a free-running
+// generator with an external enable. Next always returns the current
+// output word; the state is consumed only when enable is true. This is
+// what allows a fully pipelined loop with initiation interval 1 to stall a
+// *logical* uniform stream without stalling the physical pipeline.
+type GatedSource32 interface {
+	// Next returns the current output word and, when enable is true,
+	// consumes it so that the following call observes a fresh word.
+	Next(enable bool) uint32
+}
+
+// Seeder is implemented by generators that can be re-seeded in place,
+// which the experiment harness uses to give each decoupled work-item an
+// independent stream (the paper follows Matsumoto-Nishimura dynamic
+// creation; we derive per-work-item seeds from a SplitMix64 sequence).
+type Seeder interface {
+	Seed(seed uint64)
+}
+
+// NormalSource produces standard normal variates together with a validity
+// flag. Rejection-based transforms (Marsaglia-Bray) return ok=false on the
+// cycles in which the candidate is rejected; transform-based ones (ICDF)
+// are valid on every cycle except for degenerate inputs.
+type NormalSource interface {
+	// NextNormal returns a candidate N(0,1) variate and whether it is
+	// valid on this invocation.
+	NextNormal() (z float32, ok bool)
+}
+
+const (
+	inv24 = 1.0 / (1 << 24) // 2^-24, float32-exact
+	inv53 = 1.0 / (1 << 53) // 2^-53, float64-exact
+	inv32 = 1.0 / (1 << 32) // 2^-32
+)
+
+// U32ToFloatOpen maps a raw 32-bit word to a single-precision uniform in
+// the open interval (0,1). It keeps the 24 high-order bits — the full
+// mantissa width of float32 — and centres the lattice at half steps, so
+// neither 0 nor 1 is ever produced. This is the `uint2float` of Listing 2:
+// downstream code may safely take logarithms and reciprocals.
+func U32ToFloatOpen(x uint32) float32 {
+	return (float32(x>>8) + 0.5) * inv24
+}
+
+// U32ToFloat64Open maps a raw 32-bit word to a double-precision uniform in
+// (0,1) with the same half-step centring.
+func U32ToFloat64Open(x uint32) float64 {
+	return (float64(x) + 0.5) * inv32
+}
+
+// U64ToFloat64Open maps a 64-bit word to a double in (0,1) using the top
+// 53 bits.
+func U64ToFloat64Open(x uint64) float64 {
+	return (float64(x>>11) + 0.5) * inv53
+}
+
+// U32ToSigned maps a raw word to a single-precision uniform in the open
+// interval (-1,1), as required by the Marsaglia-Bray polar candidates.
+func U32ToSigned(x uint32) float32 {
+	return (float32(x>>8)+0.5)*(2*inv24) - 1
+}
+
+// SplitMix64 is a tiny, fast, well-distributed 64-bit generator used only
+// for deriving seeds (work-item stream separation, test fixtures). It is
+// not part of the modelled hardware.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 seeded with the given value.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit word.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32-bit word, making SplitMix64 usable as a
+// Source32 in tests.
+func (s *SplitMix64) Uint32() uint32 { return uint32(s.Next() >> 32) }
+
+// Seed resets the internal state.
+func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
+
+// StreamSeeds derives n well-separated 64-bit seeds from a master seed.
+// The experiment harness assigns one to each decoupled work-item, mirroring
+// the paper's use of dynamically created Mersenne-Twisters per stream.
+func StreamSeeds(master uint64, n int) []uint64 {
+	sm := NewSplitMix64(master)
+	out := make([]uint64, n)
+	for i := range out {
+		s := sm.Next()
+		if s == 0 { // all-zero seeds are degenerate for LFSR-family generators
+			s = 0x5DEECE66D
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Float64Source adapts a Source32 to produce float64 uniforms in (0,1),
+// consuming one word per variate. Reference samplers in the gamma package
+// use it where double precision is required.
+type Float64Source struct{ Src Source32 }
+
+// Next returns the next double-precision uniform in (0,1).
+func (f Float64Source) Next() float64 { return U32ToFloat64Open(f.Src.Uint32()) }
+
+// IsFinite32 reports whether v is neither NaN nor ±Inf. Hardware
+// implementations saturate rather than propagate non-finite values; the
+// validity checks in the pipelined kernels use this helper.
+func IsFinite32(v float32) bool {
+	return !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0)
+}

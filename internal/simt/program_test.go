@@ -1,0 +1,332 @@
+package simt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/rng/gamma"
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+// counterState is a trivial lane context for structural tests.
+type counterState struct {
+	id    int
+	count int64
+	src   *rng.SplitMix64
+}
+
+func mkCounter(lane int) LaneState {
+	return &counterState{id: lane, src: rng.NewSplitMix64(uint64(lane + 1))}
+}
+
+func TestProgramValidate(t *testing.T) {
+	bad := []Program{
+		{Compute{Name: "x", Cost: 0}},
+		{Branch{Name: "b"}},
+		{Loop{Name: "l"}},
+		{Branch{Name: "b", Cond: func(LaneState) bool { return true }, Then: []Node{Compute{Cost: 0}}}},
+		{Loop{Name: "l", Cond: func(LaneState) bool { return false }, Body: []Node{Compute{Cost: -1}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d should fail validation", i)
+		}
+	}
+	good := Program{Compute{Name: "a", Cost: 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLockstep(good, nil); err == nil {
+		t.Error("no lanes should fail")
+	}
+	if _, err := RunDecoupled(good, nil); err == nil {
+		t.Error("no lanes should fail")
+	}
+}
+
+// TestStraightLineNoPenalty: without branches, lockstep is as efficient
+// as decoupled execution — utilization 1, equal total slots per lane.
+func TestStraightLineNoPenalty(t *testing.T) {
+	prog := Program{
+		Compute{Name: "a", Cost: 3},
+		Compute{Name: "b", Cost: 2},
+	}
+	lanes := []LaneState{mkCounter(0), mkCounter(1), mkCounter(2), mkCounter(3)}
+	ls, err := RunLockstep(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.IssueSlots != 5 {
+		t.Fatalf("lockstep slots %d", ls.IssueSlots)
+	}
+	if u := ls.Utilization(4); u != 1 {
+		t.Fatalf("utilization %f", u)
+	}
+	if ls.DivergentBranches != 0 {
+		t.Fatal("no branches, no divergence")
+	}
+	infl, err := ProgramInflation(prog, 4, mkCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infl != 1 {
+		t.Fatalf("straight-line inflation %f", infl)
+	}
+}
+
+// TestUniformBranchNoPenalty: a branch all lanes agree on costs only the
+// taken side (Fig. 2a).
+func TestUniformBranchNoPenalty(t *testing.T) {
+	prog := Program{
+		Branch{
+			Name: "static",
+			Cond: func(LaneState) bool { return true },
+			Then: []Node{Compute{Name: "t", Cost: 10}},
+			Else: []Node{Compute{Name: "e", Cost: 99}},
+		},
+	}
+	lanes := []LaneState{mkCounter(0), mkCounter(1)}
+	st, err := RunLockstep(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IssueSlots != 10 {
+		t.Fatalf("slots %d, want only the taken side", st.IssueSlots)
+	}
+	if st.DivergentBranches != 0 {
+		t.Fatal("uniform branch flagged divergent")
+	}
+}
+
+// TestDivergentBranchSerializes: a 50/50 branch costs both sides in
+// lockstep (Fig. 2b) but only the lane's own side when decoupled
+// (Fig. 2c).
+func TestDivergentBranchSerializes(t *testing.T) {
+	cond := func(ls LaneState) bool { return ls.(*counterState).id%2 == 0 }
+	prog := Program{
+		Branch{
+			Name: "data-dependent",
+			Cond: cond,
+			Then: []Node{Compute{Name: "t", Cost: 10}},
+			Else: []Node{Compute{Name: "e", Cost: 30}},
+		},
+	}
+	lanes := []LaneState{mkCounter(0), mkCounter(1)}
+	ls, err := RunLockstep(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.IssueSlots != 40 {
+		t.Fatalf("lockstep slots %d, want both sides (40)", ls.IssueSlots)
+	}
+	if ls.DivergentBranches != 1 {
+		t.Fatalf("divergent branches %d", ls.DivergentBranches)
+	}
+	// Utilization: lane0 works 10 of 40, lane1 works 30 of 40 → 0.5.
+	if u := ls.Utilization(2); math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("utilization %f", u)
+	}
+	ds, err := RunDecoupled(prog, []LaneState{mkCounter(0), mkCounter(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.MaxLaneSlots != 30 {
+		t.Fatalf("decoupled max lane %d, want the else lane's 30", ds.MaxLaneSlots)
+	}
+	infl, err := ProgramInflation(prog, 2, mkCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(infl-40.0/30.0) > 1e-12 {
+		t.Fatalf("inflation %f", infl)
+	}
+}
+
+// TestLoopLastLaneDominates: lanes with different trip counts hold the
+// partition until the slowest exits.
+func TestLoopLastLaneDominates(t *testing.T) {
+	// Lane i iterates (i+1)·5 times.
+	prog := Program{
+		Loop{
+			Name: "work",
+			Cond: func(ls LaneState) bool {
+				c := ls.(*counterState)
+				return c.count < int64(c.id+1)*5
+			},
+			Body: []Node{Compute{Name: "step", Cost: 2, Apply: func(ls LaneState) {
+				ls.(*counterState).count++
+			}}},
+		},
+	}
+	lanes := []LaneState{mkCounter(0), mkCounter(1), mkCounter(2), mkCounter(3)}
+	ls, err := RunLockstep(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowest lane: 20 trips × cost 2 = 40 issue slots.
+	if ls.IssueSlots != 40 {
+		t.Fatalf("lockstep slots %d", ls.IssueSlots)
+	}
+	// Useful lane ops: (5+10+15+20)·2 = 100 of 4·40 = 160 slots.
+	if ls.LaneOps != 100 {
+		t.Fatalf("lane ops %d", ls.LaneOps)
+	}
+	if u := ls.Utilization(4); math.Abs(u-100.0/160.0) > 1e-12 {
+		t.Fatalf("utilization %f", u)
+	}
+	ds, err := RunDecoupled(prog, []LaneState{mkCounter(0), mkCounter(1), mkCounter(2), mkCounter(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.MaxLaneSlots != 40 || ds.LaneOps != 100 {
+		t.Fatalf("decoupled %+v", ds)
+	}
+}
+
+// TestLoopRunawayGuard: the MaxTrips bound turns infinite loops into
+// errors in both engines.
+func TestLoopRunawayGuard(t *testing.T) {
+	prog := Program{
+		Loop{
+			Name: "forever", MaxTrips: 100,
+			Cond: func(LaneState) bool { return true },
+			Body: []Node{Compute{Name: "x", Cost: 1}},
+		},
+	}
+	if _, err := RunLockstep(prog, []LaneState{mkCounter(0)}); err == nil {
+		t.Fatal("lockstep should hit the trip guard")
+	}
+	if _, err := RunDecoupled(prog, []LaneState{mkCounter(0)}); err == nil {
+		t.Fatal("decoupled should hit the trip guard")
+	}
+}
+
+// gammaLane adapts the real gamma generator to an IR lane state.
+type gammaLane struct {
+	gen   *gamma.Generator
+	valid bool
+	count int64
+	quota int64
+}
+
+// gammaKernelIR builds the case-study kernel as a generic IR program:
+// a rejection loop whose body computes a candidate (fixed datapath cost)
+// and stores on acceptance — the exact structure of Listing 2 expressed
+// in the generic form the paper's Section II-C argues about.
+func gammaKernelIR(bodyCost, storeCost int64) Program {
+	return Program{
+		Loop{
+			Name: "MAINLOOP",
+			Cond: func(ls LaneState) bool {
+				g := ls.(*gammaLane)
+				return g.count < g.quota
+			},
+			Body: []Node{
+				Compute{Name: "candidate", Cost: bodyCost, Apply: func(ls LaneState) {
+					g := ls.(*gammaLane)
+					g.valid = g.gen.CycleStep().Valid
+				}},
+				Branch{
+					Name: "accept",
+					Cond: func(ls LaneState) bool { return ls.(*gammaLane).valid },
+					Then: []Node{Compute{Name: "store", Cost: storeCost, Apply: func(ls LaneState) {
+						ls.(*gammaLane).count++
+					}}},
+				},
+			},
+		},
+	}
+}
+
+// TestGammaKernelIRInflation: the generic IR reproduces the divergence
+// behaviour of the dedicated lockstep simulator — inflation > 1 at warp
+// width for the rejection kernel, and the Marsaglia-Bray kernel wastes
+// more issue slots than the ICDF kernel.
+func TestGammaKernelIRInflation(t *testing.T) {
+	mk := func(tf normal.Kind) func(int) LaneState {
+		return func(lane int) LaneState {
+			return &gammaLane{
+				gen: gamma.NewGenerator(tf, mt.MT521Params,
+					gamma.MustFromVariance(1.39), uint64(lane+1)*0x9E3779B97F4A7C15),
+				quota: 400,
+			}
+		}
+	}
+	inflMB, err := ProgramInflation(gammaKernelIR(10, 3), 32, mk(normal.MarsagliaBray))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflMB <= 1 {
+		t.Fatalf("warp-width gamma kernel should inflate, got %f", inflMB)
+	}
+	inflIC, err := ProgramInflation(gammaKernelIR(10, 3), 32, mk(normal.ICDFCUDA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflIC <= 1 || inflIC >= inflMB {
+		t.Fatalf("ICDF inflation %f should sit in (1, %f)", inflIC, inflMB)
+	}
+	// Width 1 is exactly 1 by construction.
+	infl1, err := ProgramInflation(gammaKernelIR(10, 3), 1, mk(normal.MarsagliaBray))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infl1 != 1 {
+		t.Fatalf("decoupled inflation %f", infl1)
+	}
+}
+
+// TestNestedDivergence: branches inside divergent branches compose — the
+// cost multiplies, as on real lockstep hardware.
+func TestNestedDivergence(t *testing.T) {
+	prog := Program{
+		Branch{
+			Name: "outer",
+			Cond: func(ls LaneState) bool { return ls.(*counterState).id%2 == 0 },
+			Then: []Node{
+				Branch{
+					Name: "inner",
+					Cond: func(ls LaneState) bool { return ls.(*counterState).id%4 == 0 },
+					Then: []Node{Compute{Name: "a", Cost: 5}},
+					Else: []Node{Compute{Name: "b", Cost: 7}},
+				},
+			},
+			Else: []Node{Compute{Name: "c", Cost: 11}},
+		},
+	}
+	lanes := []LaneState{mkCounter(0), mkCounter(1), mkCounter(2), mkCounter(3)}
+	st, err := RunLockstep(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lanes 0,2 take outer-then; lane 0 inner-then, lane 2 inner-else;
+	// lanes 1,3 outer-else: slots = 5 + 7 + 11 = 23.
+	if st.IssueSlots != 23 {
+		t.Fatalf("slots %d", st.IssueSlots)
+	}
+	if st.DivergentBranches != 2 {
+		t.Fatalf("divergent branches %d", st.DivergentBranches)
+	}
+}
+
+func BenchmarkProgramLockstep(b *testing.B) {
+	mk := func(lane int) LaneState {
+		return &gammaLane{
+			gen: gamma.NewGenerator(normal.MarsagliaBray, mt.MT521Params,
+				gamma.MustFromVariance(1.39), uint64(lane+1)),
+			quota: 200,
+		}
+	}
+	prog := gammaKernelIR(10, 3)
+	for i := 0; i < b.N; i++ {
+		lanes := make([]LaneState, 32)
+		for l := range lanes {
+			lanes[l] = mk(l)
+		}
+		if _, err := RunLockstep(prog, lanes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package simt simulates the execution model of the paper's fixed-
+// architecture accelerators (Section II-B): parallel OpenCL work-items
+// physically grouped into hardware partitions — Nvidia warps of 32
+// threads, Xeon Phi's 512-bit (16-lane) implicit vectorization, a CPU's
+// 8-lane AVX unit — executing in lockstep.
+//
+// The simulator runs the *actual* gamma generators, one per lane, in
+// lockstep steps. Divergence shows up in two ways, matching Fig. 2b:
+//
+//   - quota divergence: lanes need different numbers of rejection-loop
+//     iterations to fill their output quota, so finished lanes idle until
+//     the slowest lane of the partition completes (the partition executes
+//     max-over-lanes steps);
+//   - branch divergence: within a step, a data-dependent branch splits
+//     the active lanes, and the partition must execute both sides
+//     sequentially (the red-dot idle slots of Fig. 2b). The simulator
+//     counts the steps on which the store/accept branch diverged.
+//
+// A width-1 partition is the FPGA's decoupled work-item (Fig. 2c): no
+// lane ever waits for another. The ratio of lockstep to decoupled cycles
+// is the divergence inflation that internal/perf feeds into the platform
+// runtime models.
+package simt
+
+import (
+	"fmt"
+
+	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/rng/gamma"
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+// SimConfig describes one lockstep sampling run.
+type SimConfig struct {
+	// Transform and MTParams select the kernel configuration (Table I).
+	Transform normal.Kind
+	MTParams  mt.Params
+	// Variance is the sector variance (α = 1/v, β = v).
+	Variance float64
+	// Width is the hardware partition width (lanes in lockstep).
+	Width int
+	// Partitions is how many partitions to sample; results report means
+	// across them.
+	Partitions int
+	// Quota is the number of outputs each lane must produce (the
+	// per-work-item share: numScenarios·numSectors / globalSize).
+	Quota int64
+	// Seed is the master seed; every lane gets an independent stream.
+	Seed uint64
+}
+
+func (c SimConfig) validate() error {
+	if c.Width < 1 {
+		return fmt.Errorf("simt: width must be ≥ 1, got %d", c.Width)
+	}
+	if c.Partitions < 1 {
+		return fmt.Errorf("simt: need ≥ 1 partition, got %d", c.Partitions)
+	}
+	if c.Quota < 1 {
+		return fmt.Errorf("simt: quota must be ≥ 1, got %d", c.Quota)
+	}
+	if !(c.Variance > 0) {
+		return fmt.Errorf("simt: variance must be positive, got %g", c.Variance)
+	}
+	return nil
+}
+
+// Result summarizes a lockstep sampling run.
+type Result struct {
+	Width               int
+	PartitionsSimulated int
+	// MeanStepsPerPartition is E[max over lanes of iterations needed] —
+	// the lockstep execution length.
+	MeanStepsPerPartition float64
+	// MeanLaneIters is E[iterations a single lane needs] — the
+	// decoupled execution length (what an FPGA work-item pays).
+	MeanLaneIters float64
+	// LockstepInflation = Width·Steps / Σ lane iterations ≥ 1: the
+	// fraction of issue slots a lockstep partition wastes relative to
+	// fully decoupled execution. 1.0 means no divergence loss.
+	LockstepInflation float64
+	// StoreDivergenceFrac is the fraction of steps on which the
+	// accept/store branch diverged within the partition (some but not
+	// all active lanes stored) — each such step serializes both branch
+	// sides on fixed architectures.
+	StoreDivergenceFrac float64
+	// Outputs is the total number of gamma values produced (quota ×
+	// lanes), kept for conservation checks.
+	Outputs int64
+}
+
+// SimulatePartitions runs cfg.Partitions independent lockstep partitions
+// to completion and reports divergence statistics. The generators are the
+// real pipeline (same code as the FPGA engine), so rejection behaviour —
+// and therefore divergence — is exact rather than assumed.
+func SimulatePartitions(cfg SimConfig) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	var totalSteps, totalLaneIters, totalDivergent int64
+	for p := 0; p < cfg.Partitions; p++ {
+		steps, laneIters, divergent := runPartition(cfg, uint64(p))
+		totalSteps += steps
+		totalLaneIters += laneIters
+		totalDivergent += divergent
+	}
+
+	res := Result{
+		Width:                 cfg.Width,
+		PartitionsSimulated:   cfg.Partitions,
+		MeanStepsPerPartition: float64(totalSteps) / float64(cfg.Partitions),
+		MeanLaneIters:         float64(totalLaneIters) / float64(cfg.Partitions*cfg.Width),
+		Outputs:               int64(cfg.Partitions*cfg.Width) * cfg.Quota,
+	}
+	if totalLaneIters > 0 {
+		res.LockstepInflation = float64(totalSteps*int64(cfg.Width)) / float64(totalLaneIters)
+	}
+	if totalSteps > 0 {
+		res.StoreDivergenceFrac = float64(totalDivergent) / float64(totalSteps)
+	}
+	return res, nil
+}
+
+// runPartition executes one partition to completion.
+func runPartition(cfg SimConfig, partition uint64) (steps, laneIterSum, divergentSteps int64) {
+	params := gamma.MustFromVariance(cfg.Variance)
+	lanes := make([]*gamma.Generator, cfg.Width)
+	counts := make([]int64, cfg.Width)
+	iters := make([]int64, cfg.Width)
+	// Per-lane seeds are SplitMix64 outputs of a partition-specific
+	// stream, so no lane's internal stream split can alias another's
+	// (see core/engine.go for the failure mode of linear offsets).
+	laneSeeds := rng.StreamSeeds(cfg.Seed^(partition*0xD1B54A32D192ED03+1), cfg.Width)
+	for l := range lanes {
+		lanes[l] = gamma.NewGenerator(cfg.Transform, cfg.MTParams, params, laneSeeds[l])
+	}
+
+	remaining := cfg.Width
+	for remaining > 0 {
+		steps++
+		stored, active := 0, 0
+		for l := range lanes {
+			if counts[l] >= cfg.Quota {
+				continue // finished lane idles (red dots of Fig. 2b)
+			}
+			active++
+			iters[l]++
+			r := lanes[l].CycleStep()
+			if r.Valid {
+				counts[l]++
+				stored++
+				if counts[l] == cfg.Quota {
+					remaining--
+				}
+			}
+		}
+		if stored > 0 && stored < active {
+			divergentSteps++
+		}
+	}
+	for _, it := range iters {
+		laneIterSum += it
+	}
+	return steps, laneIterSum, divergentSteps
+}
+
+// DivergencePoint is one (width → inflation) sample, the material of the
+// Fig. 2 comparison and the ablation benches.
+type DivergencePoint struct {
+	Width     int
+	Inflation float64
+	DivFrac   float64
+}
+
+// InflationSweep measures lockstep inflation across partition widths for
+// a given configuration — quantifying how much a warp/SIMD grouping loses
+// to rejection divergence as the group widens, and that width 1
+// (decoupled) loses nothing.
+func InflationSweep(transform normal.Kind, mtp mt.Params, variance float64, quota int64, widths []int, seed uint64) ([]DivergencePoint, error) {
+	out := make([]DivergencePoint, 0, len(widths))
+	for _, w := range widths {
+		r, err := SimulatePartitions(SimConfig{
+			Transform: transform, MTParams: mtp, Variance: variance,
+			Width: w, Partitions: 4, Quota: quota, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DivergencePoint{Width: w, Inflation: r.LockstepInflation, DivFrac: r.StoreDivergenceFrac})
+	}
+	return out, nil
+}

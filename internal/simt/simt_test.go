@@ -1,0 +1,150 @@
+package simt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/decwi/decwi/internal/rng/mt"
+	"github.com/decwi/decwi/internal/rng/normal"
+)
+
+func TestSimConfigValidation(t *testing.T) {
+	good := SimConfig{
+		Transform: normal.MarsagliaBray, MTParams: mt.MT521Params,
+		Variance: 1.39, Width: 4, Partitions: 1, Quota: 10,
+	}
+	if _, err := SimulatePartitions(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*SimConfig){
+		"width":      func(c *SimConfig) { c.Width = 0 },
+		"partitions": func(c *SimConfig) { c.Partitions = 0 },
+		"quota":      func(c *SimConfig) { c.Quota = 0 },
+		"variance":   func(c *SimConfig) { c.Variance = 0 },
+	} {
+		c := good
+		mutate(&c)
+		if _, err := SimulatePartitions(c); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestDecoupledHasNoInflation: width 1 is the FPGA case of Fig. 2c — by
+// construction there is no lockstep loss and no divergent step.
+func TestDecoupledHasNoInflation(t *testing.T) {
+	r, err := SimulatePartitions(SimConfig{
+		Transform: normal.MarsagliaBray, MTParams: mt.MT521Params,
+		Variance: 1.39, Width: 1, Partitions: 8, Quota: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LockstepInflation != 1 {
+		t.Fatalf("width-1 inflation %f, must be exactly 1", r.LockstepInflation)
+	}
+	if r.StoreDivergenceFrac != 0 {
+		t.Fatalf("width-1 divergence fraction %f, must be 0", r.StoreDivergenceFrac)
+	}
+	// Mean lane iterations ≈ quota·(1+r) with r≈0.303.
+	perOutput := r.MeanLaneIters / 2000
+	if math.Abs(perOutput-1.303) > 0.03 {
+		t.Fatalf("iterations per output %f, want ≈1.303", perOutput)
+	}
+}
+
+// TestInflationGrowsWithWidth: wider lockstep partitions waste more issue
+// slots (Fig. 2b worsens with partition size), and inflation is always
+// ≥ 1.
+func TestInflationGrowsWithWidth(t *testing.T) {
+	pts, err := InflationSweep(normal.MarsagliaBray, mt.MT521Params, 1.39, 500,
+		[]int{1, 8, 32}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Inflation < 1 {
+			t.Fatalf("width %d: inflation %f < 1", p.Width, p.Inflation)
+		}
+		if i > 0 && p.Inflation < pts[i-1].Inflation {
+			t.Fatalf("inflation not monotone: width %d %f < width %d %f",
+				p.Width, p.Inflation, pts[i-1].Width, pts[i-1].Inflation)
+		}
+	}
+	if pts[2].Inflation <= pts[0].Inflation {
+		t.Fatal("warp-width partition should pay a real divergence cost")
+	}
+}
+
+// TestRejectionDrivesDivergence: the high-rejection Marsaglia-Bray
+// configuration diverges more than the low-rejection ICDF one at the same
+// width — the mechanism behind Table III's CPU/GPU/PHI improvements in
+// Config3/4.
+func TestRejectionDrivesDivergence(t *testing.T) {
+	run := func(tf normal.Kind) Result {
+		r, err := SimulatePartitions(SimConfig{
+			Transform: tf, MTParams: mt.MT521Params, Variance: 1.39,
+			Width: 16, Partitions: 4, Quota: 1000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mb := run(normal.MarsagliaBray)
+	icdf := run(normal.ICDFCUDA)
+	if mb.StoreDivergenceFrac <= icdf.StoreDivergenceFrac {
+		t.Fatalf("M-Bray divergent-step fraction %f should exceed ICDF's %f",
+			mb.StoreDivergenceFrac, icdf.StoreDivergenceFrac)
+	}
+	if mb.MeanLaneIters <= icdf.MeanLaneIters {
+		t.Fatalf("M-Bray lane iterations %f should exceed ICDF's %f",
+			mb.MeanLaneIters, icdf.MeanLaneIters)
+	}
+}
+
+// TestQuotaConcentration: for larger quotas the max-over-lanes effect
+// concentrates and inflation shrinks — the reason divergence cost on real
+// workloads comes mostly from per-step branch serialization.
+func TestQuotaConcentration(t *testing.T) {
+	at := func(q int64) float64 {
+		r, err := SimulatePartitions(SimConfig{
+			Transform: normal.MarsagliaBray, MTParams: mt.MT521Params,
+			Variance: 1.39, Width: 32, Partitions: 6, Quota: q, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.LockstepInflation
+	}
+	small, large := at(20), at(3000)
+	if large >= small {
+		t.Fatalf("inflation should shrink with quota: q=20 → %f, q=3000 → %f", small, large)
+	}
+}
+
+// TestOutputsConservation: every lane delivers exactly its quota.
+func TestOutputsConservation(t *testing.T) {
+	r, err := SimulatePartitions(SimConfig{
+		Transform: normal.ICDFFPGA, MTParams: mt.MT521Params,
+		Variance: 0.7, Width: 8, Partitions: 3, Quota: 250, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outputs != 8*3*250 {
+		t.Fatalf("outputs %d", r.Outputs)
+	}
+	if r.MeanStepsPerPartition < r.MeanLaneIters {
+		t.Fatal("partition steps cannot be below mean lane iterations")
+	}
+}
+
+func BenchmarkLockstepWarp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = SimulatePartitions(SimConfig{
+			Transform: normal.MarsagliaBray, MTParams: mt.MT521Params,
+			Variance: 1.39, Width: 32, Partitions: 1, Quota: 500, Seed: uint64(i),
+		})
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the statistical machinery used to validate the
+// generated distributions (paper Fig. 6 and the rejection-rate claims of
+// Section IV-E): special functions (regularized incomplete gamma),
+// distribution objects for Gamma(α, β), histograms, empirical CDFs,
+// Kolmogorov-Smirnov and chi-square goodness-of-fit tests, and moment
+// summaries. Everything is stdlib-only, double precision.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegularizedGammaP computes P(a, x) = γ(a, x)/Γ(a), the regularized lower
+// incomplete gamma function, for a > 0, x ≥ 0. It switches between the
+// series expansion (x < a+1) and the Lentz continued fraction for the
+// complement (x ≥ a+1), the classic numerically stable split.
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case a <= 0:
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case math.IsInf(x, 1):
+		return 1
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// RegularizedGammaQ computes Q(a, x) = 1 − P(a, x) without cancellation in
+// the right tail.
+func RegularizedGammaQ(a, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case a <= 0 || x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case math.IsInf(x, 1):
+		return 0
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+const (
+	gammaEps     = 1e-15
+	gammaMaxIter = 1000
+)
+
+// gammaPSeries evaluates P(a,x) by the power series
+// γ(a,x) = e^{-x} x^a Σ_{n≥0} x^n / (a(a+1)...(a+n)).
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < gammaMaxIter; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) with the modified Lentz
+// algorithm on the continued fraction
+// Γ(a,x)/Γ(a) = e^{-x} x^a / (x+1-a- 1(1-a)/(x+3-a- ...)).
+func gammaQContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	tiny := 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// GammaDist is the two-parameter gamma distribution Gamma(α, β) with
+// density x^{α−1} e^{−x/β} / (Γ(α) β^α) — the sector-variable law of the
+// CreditRisk+ model.
+type GammaDist struct {
+	Alpha float64 // shape
+	Scale float64 // scale β
+}
+
+// NewGammaDist validates and constructs a gamma distribution.
+func NewGammaDist(alpha, scale float64) (GammaDist, error) {
+	if !(alpha > 0) || !(scale > 0) {
+		return GammaDist{}, fmt.Errorf("stats: gamma parameters must be positive, got α=%g β=%g", alpha, scale)
+	}
+	return GammaDist{Alpha: alpha, Scale: scale}, nil
+}
+
+// PDF evaluates the density at x (0 for x<0; handles the α<1 pole by
+// returning +Inf at exactly 0).
+func (g GammaDist) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case g.Alpha < 1:
+			return math.Inf(1)
+		case g.Alpha == 1:
+			return 1 / g.Scale
+		default:
+			return 0
+		}
+	}
+	lg, _ := math.Lgamma(g.Alpha)
+	return math.Exp((g.Alpha-1)*math.Log(x) - x/g.Scale - lg - g.Alpha*math.Log(g.Scale))
+}
+
+// CDF evaluates P(X ≤ x) = P(α, x/β).
+func (g GammaDist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(g.Alpha, x/g.Scale)
+}
+
+// Quantile inverts the CDF with bisection refined by Newton; accurate to
+// ~1e-12 relative. p must lie in (0,1).
+func (g GammaDist) Quantile(p float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("stats: quantile probability %g outside (0,1)", p)
+	}
+	// Bracket: start from the mean-scaled guess and expand.
+	lo, hi := 0.0, g.Alpha*g.Scale
+	for g.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e308/2 {
+			return 0, fmt.Errorf("stats: quantile bracket overflow at p=%g", p)
+		}
+	}
+	x := hi / 2
+	for i := 0; i < 200; i++ {
+		f := g.CDF(x) - p
+		if math.Abs(f) < 1e-14 {
+			break
+		}
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton step, falling back to bisection when it leaves the bracket.
+		d := g.PDF(x)
+		var nx float64
+		if d > 0 {
+			nx = x - f/d
+		}
+		if !(nx > lo && nx < hi) {
+			nx = (lo + hi) / 2
+		}
+		if math.Abs(nx-x) < 1e-14*(1+x) {
+			x = nx
+			break
+		}
+		x = nx
+	}
+	return x, nil
+}
+
+// Mean returns αβ.
+func (g GammaDist) Mean() float64 { return g.Alpha * g.Scale }
+
+// Variance returns αβ².
+func (g GammaDist) Variance() float64 { return g.Alpha * g.Scale * g.Scale }
