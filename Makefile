@@ -1,0 +1,32 @@
+# Tier-1 gate: every change must keep this green (see README.md
+# "Testing" and ROADMAP.md). `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check vet build test race bench trace clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry overhead gate: telemetry-off must stay within noise of the
+# pre-telemetry engine (nil-receiver hooks only).
+bench:
+	$(GO) test -bench BenchmarkGamma -benchtime 1x -run '^$$' .
+
+# Smoke-test the tracing CLI (artifacts land in the working directory).
+trace:
+	$(GO) run ./cmd/decwi-trace -config 3
+
+clean:
+	rm -f decwi-trace.json

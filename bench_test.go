@@ -19,6 +19,7 @@ import (
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
 	"github.com/decwi/decwi/internal/simt"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // BenchmarkTableI regenerates the configuration table (trivially cheap;
@@ -424,4 +425,34 @@ func BenchmarkAblationStreamDepth(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkGamma measures the telemetry overhead on the paper's hot
+// path: the full decoupled work-item engine generating gamma variates.
+// The "off" variant (nil recorder — the no-op implementation) is the
+// tier-1 overhead gate: it must stay within noise of the pre-telemetry
+// engine, because disabled instrumentation is a nil-receiver check per
+// operation, not an event. The "on" variant quantifies the cost of live
+// tracing for the trade-off note in DESIGN.md.
+func BenchmarkGamma(b *testing.B) {
+	run := func(b *testing.B, rec *telemetry.Recorder) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewEngine(core.Config{
+				Transform: normal.ICDFFPGA, MTParams: mt.MT19937Params,
+				WorkItems: 8, Scenarios: 65536, Sectors: 1,
+				SectorVariance: 1.39, Seed: uint64(i + 1),
+				Telemetry: rec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(65536 * 4)
+	}
+	b.Run("telemetry-off", func(b *testing.B) { run(b, nil) })
+	b.Run("telemetry-on", func(b *testing.B) { run(b, telemetry.New(telemetry.DefaultRingCap)) })
 }

@@ -1,0 +1,140 @@
+// Command decwi-trace runs one of the paper's four kernel configurations
+// (Table I) with cycle-level telemetry enabled and emits two artifacts:
+//
+//   - a Chrome trace_event JSON file (load it in chrome://tracing or
+//     https://ui.perfetto.dev) with the OpenCL command queue, the
+//     dataflow processes, the hls::stream blocking spans and the
+//     cycle-accurate co-simulation lanes on separate clock domains;
+//   - a plain-text stall-attribution report ranking which stream or
+//     loop-carried dependency cost the most cycles.
+//
+// Usage:
+//
+//	decwi-trace -config 3
+//	decwi-trace -config 1 -scenarios 50000 -sectors 4 -trace t.json -report r.txt
+//	decwi-trace -config 2 -cosim-quota 0       # skip the co-simulation pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/fpga"
+	"github.com/decwi/decwi/internal/perf"
+	"github.com/decwi/decwi/internal/telemetry"
+)
+
+func main() {
+	cfgNum := flag.Int("config", 3, "kernel configuration 1-4 (Table I)")
+	scenarios := flag.Int64("scenarios", 20000, "gamma values per sector")
+	sectors := flag.Int("sectors", 2, "number of financial sectors")
+	workItems := flag.Int("workitems", 0, "override decoupled work-items (0 = place-and-route outcome)")
+	seed := flag.Uint64("seed", 1, "master seed")
+	cosimQuota := flag.Int64("cosim-quota", 4096, "values per work-item for the cycle-accurate co-simulation pass (0 = skip)")
+	tracePath := flag.String("trace", "decwi-trace.json", "output path for the Chrome trace_event JSON")
+	reportPath := flag.String("report", "", "output path for the stall-attribution report (default: stdout)")
+	ringCap := flag.Int("events", telemetry.DefaultRingCap, "event ring capacity (oldest events overwritten beyond this)")
+	flag.Parse()
+
+	if err := run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
+		*cosimQuota, *tracePath, *reportPath, *ringCap); err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
+	cosimQuota int64, tracePath, reportPath string, ringCap int) error {
+	if cfgNum < 1 || cfgNum > 4 {
+		return fmt.Errorf("-config must be 1..4, got %d", cfgNum)
+	}
+	cfg := decwi.ConfigID(cfgNum)
+	info, err := cfg.Describe()
+	if err != nil {
+		return err
+	}
+	kernels := []perf.KernelConfig{perf.Config1, perf.Config2, perf.Config3, perf.Config4}
+	k := kernels[cfgNum-1]
+
+	rec := telemetry.New(ringCap)
+
+	// Pass 1: the full OpenCL host path — command-queue spans, dataflow
+	// process lifecycles, hls::stream blocking, per-work-item rejection
+	// and feed-stream counters.
+	sess, err := decwi.NewSession("FPGA")
+	if err != nil {
+		return err
+	}
+	sess.SetTelemetry(rec)
+	kr, err := sess.EnqueueGamma(cfg, decwi.GenerateOptions{
+		Scenarios: scenarios, Sectors: sectors,
+		WorkItems: workItems, Seed: seed,
+	}, false)
+	if err != nil {
+		sess.Close()
+		return err
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+
+	// Pass 2: the cycle-accurate co-simulation — per-lane II-stall
+	// bubbles and memory-controller burst transactions on the cycle
+	// clock domain.
+	var cosim *fpga.CoSimResult
+	if cosimQuota > 0 {
+		wi := workItems
+		if wi == 0 {
+			wi = k.FPGAWorkItems
+		}
+		res, err := fpga.RunCoSim(fpga.CoSimConfig{
+			WorkItems: wi, Quota: cosimQuota,
+			Transform: k.Transform, MTParams: k.MTParams, Variance: 1.39,
+			Seed: seed, Telemetry: rec,
+		})
+		if err != nil {
+			return err
+		}
+		cosim = &res
+	}
+
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if reportPath != "" {
+		rf, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		out = rf
+	}
+
+	fmt.Fprintf(out, "decwi-trace: %s (%s, MT%d, %d work-items)\n",
+		info.Name, info.Transform, info.MTExponent, info.FPGAWorkItems)
+	fmt.Fprintf(out, "workload: %d scenarios x %d sectors, seed %d\n", scenarios, sectors, seed)
+	fmt.Fprintf(out, "modelled device time %v, read-back %v (%d request)\n",
+		kr.DeviceTime, kr.ReadTime, kr.ReadRequests)
+	if cosim != nil {
+		fmt.Fprintf(out, "cosim: %d cycles, %d bursts, overlap %.1f%%, %.2f GB/s effective\n",
+			cosim.Cycles, cosim.Bursts, 100*cosim.OverlapFraction(), cosim.EffectiveBandwidthGBs)
+	}
+	fmt.Fprintln(out)
+	if err := rec.WriteStallReport(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nchrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	return nil
+}

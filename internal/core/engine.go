@@ -8,6 +8,7 @@ import (
 	"github.com/decwi/decwi/internal/rng/gamma"
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // Config describes one kernel build of the decoupled work-item engine.
@@ -43,6 +44,12 @@ type Config struct {
 	LimitMaxFactor int64
 	// Seed is the master seed; per-work-item streams are split from it.
 	Seed uint64
+	// Telemetry, when non-nil, records cycle/event telemetry for the
+	// run: hls::stream backpressure, per-work-item divergence and retry
+	// attribution, dataflow process spans, burst events. A nil recorder
+	// leaves the hot paths on their uninstrumented fast path. Tracing
+	// never perturbs the generated data (see TestTelemetryDoesNotPerturbRNG).
+	Telemetry *telemetry.Recorder
 }
 
 // setDefaults validates and fills defaults, returning a normalized copy.
@@ -187,6 +194,7 @@ func (e *Engine) Run() (*RunResult, error) {
 		wid := w
 		limitMain := per[wid]
 		stream := hls.NewStream[float32](fmt.Sprintf("gamma[%d]", wid), cfg.StreamDepth)
+		stream.Instrument(cfg.Telemetry)
 		stats := &res.PerWI[wid]
 		stats.WID = wid
 		stats.Scenarios = limitMain
@@ -205,9 +213,12 @@ func (e *Engine) Run() (*RunResult, error) {
 			},
 		)
 	}
-	if err := hls.Dataflow(procs); err != nil {
+	kernelTr := cfg.Telemetry.Track("engine", telemetry.Wall)
+	kStart := kernelTr.Now()
+	if err := hls.DataflowWith(cfg.Telemetry, procs); err != nil {
 		return nil, err
 	}
+	kernelTr.Span(telemetry.EvKernel, kStart, kernelTr.Now(), cfg.Scenarios*int64(cfg.Sectors))
 	for w := range res.PerWI {
 		s := &res.PerWI[w]
 		if s.Accepted > 0 {
@@ -224,6 +235,11 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 	defer out.Close()
 	cfg := e.cfg
 	limitMax := cfg.LimitMaxFactor*limitMain + 1024
+	// Telemetry: a cycle-domain track timestamped by the generator's own
+	// cycle counter. All handles are nil-safe no-ops when tracing is off,
+	// and everything here is per-sector or per-run — the MAINLOOP body
+	// itself carries no instrumentation.
+	tr := cfg.Telemetry.Track(fmt.Sprintf("GammaRNG[%d]", wid), telemetry.Cycles)
 
 	for sector := 0; sector < cfg.Sectors; sector++ {
 		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
@@ -231,6 +247,7 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 		reg := hls.NewRegDelay(cfg.BreakID)
 		var counter uint32
 		var quotaAt, trips int64 = -1, 0
+		sectorStart := int64(gen.Cycles())
 
 		for k := int64(0); k < limitMax && int64(reg.Delayed()) < limitMain; k++ {
 			reg.Update(counter)
@@ -249,10 +266,41 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 				wid, sector, counter, limitMain, limitMax)
 		}
 		stats.Overshoot += trips - (quotaAt + 1)
+		tr.Span(telemetry.EvSector, sectorStart, int64(gen.Cycles()), trips)
+		// Retry attribution for this sector: loop trips beyond the quota.
+		tr.Instant(telemetry.EvRetry, int64(gen.Cycles()), trips-limitMain)
 	}
 	stats.Cycles = gen.Cycles()
 	stats.Accepted = gen.Accepted()
+	e.recordWICounters(wid, gen)
 	return nil
+}
+
+// recordWICounters publishes the per-work-item cycle attribution the
+// stall report ranks: total pipeline cycles, transform-level and
+// Marsaglia-Tsang-level rejection, and the gated Mersenne-Twister feed
+// stream hold counts (see gamma.Generator.NormalValid for the
+// derivation). No-op when telemetry is off.
+func (e *Engine) recordWICounters(wid int, gen *gamma.Generator) {
+	rec := e.cfg.Telemetry
+	if rec == nil {
+		return
+	}
+	cycles := int64(gen.Cycles())
+	accepted := int64(gen.Accepted())
+	nvalid := int64(gen.NormalValid())
+	rec.Counter(fmt.Sprintf("engine.cycles[%d]", wid), "cycles",
+		"total pipeline iterations").Set(cycles)
+	rec.Counter(fmt.Sprintf("engine.accepted[%d]", wid), "cycles",
+		"iterations producing a valid gamma value").Set(accepted)
+	rec.Counter(fmt.Sprintf("rejection.normal-transform[%d]", wid), "cycles",
+		"uniform-to-normal transform rejection (invalid candidates)").Set(cycles - nvalid)
+	rec.Counter(fmt.Sprintf("rejection.gamma-loop[%d]", wid), "cycles",
+		"gamma rejection loop (Marsaglia-Tsang MAINLOOP retries)").Set(nvalid - accepted)
+	rec.Counter(fmt.Sprintf("mtfeed.mt1-hold[%d]", wid), "cycles",
+		"Mersenne-Twister feed stream MT1 held (rejection uniform gated)").Set(cycles - nvalid)
+	rec.Counter(fmt.Sprintf("mtfeed.mt2-hold[%d]", wid), "cycles",
+		"Mersenne-Twister feed stream MT2 held (correction uniform gated)").Set(cycles - accepted)
 }
 
 // transfer is Listing 4: read the stream, pack into 512-bit words, fill
@@ -263,6 +311,9 @@ func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res
 	burstWords := cfg.BurstRNs / WordRNs
 	burst := make([]Word512, 0, burstWords)
 	var pk Packer512
+	tr := cfg.Telemetry.Track(fmt.Sprintf("Transfer[%d]", wid), telemetry.Wall)
+	cBursts := cfg.Telemetry.Counter(fmt.Sprintf("membus.bursts[%d]", wid), "events",
+		"memory bursts issued by the Transfer engine")
 
 	offset := res.BlockOffsets[wid] // running value offset (blockOffset·wid)
 	emit := func(w Word512, n int) {
@@ -274,11 +325,14 @@ func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res
 			return
 		}
 		// One memcpy burst: LTRANSF consecutive beats at the offset.
+		payload := int64(len(burst) * WordRNs)
 		for _, w := range burst {
 			emit(w, WordRNs)
 		}
 		burst = burst[:0]
 		stats.Bursts++
+		cBursts.Add(1)
+		tr.Instant(telemetry.EvMemBurst, tr.Now(), payload)
 	}
 
 	total := limitMain * int64(cfg.Sectors)

@@ -7,6 +7,7 @@ import (
 	"github.com/decwi/decwi/internal/rng/gamma"
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // This file is the cycle-accurate co-simulation of the dataflow region —
@@ -52,6 +53,11 @@ type CoSimConfig struct {
 	Mem MemController
 	// Seed drives the generators.
 	Seed uint64
+	// Telemetry, when non-nil, records cycle-domain spans: per-lane
+	// II-stall bubbles (FIFO backpressure, coalesced into spans) and
+	// per-burst memory-channel transactions, plus the matching counters
+	// for the stall-attribution report.
+	Telemetry *telemetry.Recorder
 }
 
 func (c CoSimConfig) withDefaults() (CoSimConfig, error) {
@@ -129,6 +135,13 @@ type laneState struct {
 	drainPayload   int   // real values in the in-flight burst
 	readyAt        int64 // cycle at which the engine may issue its next burst
 	drainEnd       int64 // cycle at which the in-flight burst completes
+
+	// Telemetry state (inert when tracing is off).
+	tr         *telemetry.Track   // per-lane cycle-domain track
+	cStall     *telemetry.Counter // FIFO-backpressure stall cycles
+	label      int32              // interned "lane N" for channel spans
+	stallStart int64              // first cycle of the open stall span, -1 if none
+	grantCycle int64              // cycle the in-flight burst was granted
 }
 
 // RunCoSim executes the co-simulation to completion.
@@ -141,12 +154,22 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 	// Hashed per-work-item seeds (see core/engine.go: linear golden-ratio
 	// offsets alias with the generator's internal stream split).
 	wiSeeds := rng.StreamSeeds(cfg.Seed, cfg.WorkItems)
+	rec := cfg.Telemetry
+	memTr := rec.Track("memctrl", telemetry.Cycles)
+	cBusy := rec.Counter("cosim.channel-busy", "cycles", "memory channel occupied by bursts")
+	cBursts := rec.Counter("cosim.bursts", "events", "bursts granted by the channel arbiter")
 	lanes := make([]*laneState, cfg.WorkItems)
 	for i := range lanes {
-		ls := &laneState{}
+		ls := &laneState{stallStart: -1}
 		if !cfg.TransfersOnly {
 			ls.gen = gamma.NewGenerator(cfg.Transform, cfg.MTParams,
 				gamma.MustFromVariance(cfg.Variance), wiSeeds[i])
+		}
+		if rec != nil {
+			ls.tr = rec.Track(fmt.Sprintf("lane[%d]", i), telemetry.Cycles)
+			ls.cStall = rec.Counter(fmt.Sprintf("cosim.fifo-stall[%d]", i), "cycles",
+				"pipeline stalled on full hls::stream FIFO (II bubble)")
+			ls.label = rec.Intern(fmt.Sprintf("burst lane %d", i))
 		}
 		lanes[i] = ls
 	}
@@ -180,9 +203,11 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 					ls.drainPayload = ls.pendingPayload
 					ls.pendingPayload = 0
 					ls.drainEnd = cycle + burstCost
+					ls.grantCycle = cycle
 					ls.readyAt = ls.drainEnd + turnaround
 					channelFreeAt = cycle + burstCost
 					res.Bursts++
+					cBursts.Add(1)
 					rr = (rr + k + 1) % cfg.WorkItems
 					break
 				}
@@ -190,12 +215,14 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 		}
 		if cycle < channelFreeAt {
 			res.ChannelBusyCycles++
+			cBusy.Add(1)
 		}
 
 		for _, ls := range lanes {
 			// 2. Burst completion: account the transferred payload.
 			if ls.drainEnd != 0 && cycle == ls.drainEnd {
 				transferred += int64(ls.drainPayload)
+				memTr.SpanL(telemetry.EvMemBurst, ls.label, ls.grantCycle, cycle, int64(ls.drainPayload))
 				ls.drainPayload = 0
 				ls.drainEnd = 0
 			}
@@ -219,7 +246,16 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 			if ls.produced < cfg.Quota {
 				if ls.fifo >= cfg.FIFODepth {
 					res.StalledCycles++
+					ls.cStall.Add(1)
+					if ls.stallStart < 0 {
+						ls.stallStart = cycle
+					}
 				} else {
+					if ls.stallStart >= 0 {
+						// The bubble ends: coalesce it into one span.
+						ls.tr.Span(telemetry.EvIIStall, ls.stallStart, cycle, cycle-ls.stallStart)
+						ls.stallStart = -1
+					}
 					valid := true
 					if !cfg.TransfersOnly {
 						valid = ls.gen.CycleStep().Valid
@@ -251,6 +287,14 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 			res.OverlapCycles++
 		}
 		cycle++
+	}
+
+	// Close any stall span still open at the end of the simulation.
+	for _, ls := range lanes {
+		if ls.stallStart >= 0 {
+			ls.tr.Span(telemetry.EvIIStall, ls.stallStart, cycle, cycle-ls.stallStart)
+			ls.stallStart = -1
+		}
 	}
 
 	res.Cycles = cycle

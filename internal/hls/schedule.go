@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // Dependence is one loop-carried dependency as an HLS scheduler sees it:
@@ -119,17 +121,33 @@ type Process struct {
 // parallel (Listing 1) — and joins them, collecting every error. Panics
 // inside a process are recovered and reported as errors so one failing
 // work-item cannot take down the simulation host.
-func Dataflow(procs []Process) error {
+func Dataflow(procs []Process) error { return DataflowWith(nil, procs) }
+
+// DataflowWith is Dataflow with process-lifecycle telemetry: each
+// process gets an EvProcess span (start..finish, wall clock) on its own
+// track. A nil recorder records nothing and costs nothing.
+func DataflowWith(rec *telemetry.Recorder, procs []Process) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(procs))
 	for i, p := range procs {
 		wg.Add(1)
 		go func(i int, p Process) {
 			defer wg.Done()
+			var tr *telemetry.Track
+			if rec != nil {
+				tr = rec.Track("proc "+p.Name, telemetry.Wall)
+			}
+			start := tr.Now()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("hls: process %q panicked: %v", p.Name, r)
 				}
+				// Span arg 1 flags a failed process in the trace.
+				var failed int64
+				if errs[i] != nil {
+					failed = 1
+				}
+				tr.Span(telemetry.EvProcess, start, tr.Now(), failed)
 			}()
 			if err := p.Run(); err != nil {
 				errs[i] = fmt.Errorf("hls: process %q: %w", p.Name, err)

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // ErrStreamClosed is returned by Read after the producer closed the
@@ -31,15 +34,64 @@ var ErrStreamClosed = errors.New("hls: stream closed")
 // supports non-blocking probes (Empty/Full/TryRead) that the cycle-level
 // simulations use, and records high-water occupancy so tests can verify
 // the interleaving claims of Fig. 3.
+//
+// Close/drain contract (the dataflow shutdown protocol): the producer —
+// and only the producer — calls Close when it will write no more
+// values, including on its error paths (typically via defer). The
+// consumer keeps Reading; once the FIFO drains, every further Read
+// fails immediately and deterministically with ErrStreamClosed — it
+// never blocks. A producer that returns without closing leaves the
+// consumer blocked forever, which Dataflow cannot detect; the close
+// obligation is therefore part of the producer's contract, not an
+// optimization. See TestStreamCloseDrainDeterministic.
 type Stream[T any] struct {
 	ch     chan T
 	name   string
 	mu     sync.Mutex
 	closed bool
+	// probe is the optional telemetry hook; set once via Instrument
+	// before the stream is shared between goroutines, nil when tracing
+	// is off (the fast paths below check it once per operation).
+	probe *streamProbe
 	// Telemetry (guarded by mu).
 	writes    uint64
 	reads     uint64
 	highWater int
+}
+
+// streamProbe carries the telemetry handles of an instrumented stream.
+type streamProbe struct {
+	tr          *telemetry.Track
+	pushes      *telemetry.Counter
+	pops        *telemetry.Counter
+	pushBlockNS *telemetry.Counter
+	popBlockNS  *telemetry.Counter
+	// sampleMask thins the per-value push/pop instants: an event is
+	// emitted when count&sampleMask == 0 (block/starve spans are always
+	// emitted).
+	sampleMask uint64
+}
+
+// Instrument attaches the stream to a recorder: push/pop counters,
+// blocked-time counters for the stall report, and EvStreamBlock /
+// EvStreamStarve spans (plus sampled push/pop instants) on a wall-clock
+// track named after the stream. Must be called before the stream is
+// shared between goroutines; a nil recorder leaves the stream
+// un-instrumented.
+func (s *Stream[T]) Instrument(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.probe = &streamProbe{
+		tr:     rec.Track("stream "+s.name, telemetry.Wall),
+		pushes: rec.Counter("stream."+s.name+".push", "values", ""),
+		pops:   rec.Counter("stream."+s.name+".pop", "values", ""),
+		pushBlockNS: rec.Counter("stream."+s.name+".push-block", "ns",
+			fmt.Sprintf("hls::stream %q producer blocked (FIFO full)", s.name)),
+		popBlockNS: rec.Counter("stream."+s.name+".pop-block", "ns",
+			fmt.Sprintf("hls::stream %q consumer starved (FIFO empty)", s.name)),
+		sampleMask: 255,
+	}
 }
 
 // NewStream creates a stream with the given FIFO depth (≥1) and a
@@ -66,8 +118,13 @@ func (s *Stream[T]) Write(v T) {
 		panic(fmt.Errorf("%w: write on closed stream %q", ErrStreamClosed, s.name))
 	}
 	s.writes++
+	n := s.writes
 	s.mu.Unlock()
-	s.ch <- v
+	if p := s.probe; p != nil {
+		s.writeProbed(v, p, n)
+	} else {
+		s.ch <- v
+	}
 	s.mu.Lock()
 	if n := len(s.ch); n > s.highWater {
 		s.highWater = n
@@ -75,10 +132,39 @@ func (s *Stream[T]) Write(v T) {
 	s.mu.Unlock()
 }
 
-// Read blocks until a value is available and returns it; after Close and
-// drain it returns ErrStreamClosed.
+// writeProbed is the instrumented enqueue: it detects backpressure with
+// a non-blocking attempt first, so the EvStreamBlock span covers only
+// genuinely blocked time.
+func (s *Stream[T]) writeProbed(v T, p *streamProbe, n uint64) {
+	p.pushes.Add(1)
+	select {
+	case s.ch <- v:
+	default:
+		start := time.Now()
+		s.ch <- v
+		blocked := time.Since(start)
+		end := p.tr.Now()
+		p.tr.Span(telemetry.EvStreamBlock, end-blocked.Microseconds(), end, int64(len(s.ch)))
+		p.pushBlockNS.Add(blocked.Nanoseconds())
+	}
+	if n&p.sampleMask == 0 {
+		p.tr.Instant(telemetry.EvStreamPush, p.tr.Now(), int64(n))
+	}
+}
+
+// Read blocks until a value is available and returns it. After Close,
+// the buffered values drain in order and every subsequent Read fails
+// immediately — never blocks — with an error wrapping ErrStreamClosed.
+// Check with errors.Is; the failure is the consumer's deterministic
+// end-of-stream signal.
 func (s *Stream[T]) Read() (T, error) {
-	v, ok := <-s.ch
+	var v T
+	var ok bool
+	if p := s.probe; p != nil {
+		v, ok = s.readProbed(p)
+	} else {
+		v, ok = <-s.ch
+	}
 	if !ok {
 		var zero T
 		return zero, fmt.Errorf("%w: read on drained stream %q", ErrStreamClosed, s.name)
@@ -87,6 +173,30 @@ func (s *Stream[T]) Read() (T, error) {
 	s.reads++
 	s.mu.Unlock()
 	return v, nil
+}
+
+// readProbed is the instrumented dequeue, mirroring writeProbed: the
+// EvStreamStarve span covers only time spent waiting on an empty FIFO.
+func (s *Stream[T]) readProbed(p *streamProbe) (T, bool) {
+	var v T
+	var ok bool
+	select {
+	case v, ok = <-s.ch:
+	default:
+		start := time.Now()
+		v, ok = <-s.ch
+		starved := time.Since(start)
+		end := p.tr.Now()
+		p.tr.Span(telemetry.EvStreamStarve, end-starved.Microseconds(), end, 0)
+		p.popBlockNS.Add(starved.Nanoseconds())
+	}
+	if ok {
+		p.pops.Add(1)
+		if n := p.pops.Value(); uint64(n)&p.sampleMask == 0 {
+			p.tr.Instant(telemetry.EvStreamPop, p.tr.Now(), n)
+		}
+	}
+	return v, ok
 }
 
 // MustRead is Read for contexts where closure is a programming error.
@@ -98,7 +208,10 @@ func (s *Stream[T]) MustRead() T {
 	return v
 }
 
-// TryRead returns a value if one is immediately available.
+// TryRead returns a value if one is immediately available. A false
+// result means either "momentarily empty" or "closed and drained"; a
+// consumer polling with TryRead distinguishes the two with Closed()
+// (closed-and-empty will never become readable again).
 func (s *Stream[T]) TryRead() (T, bool) {
 	select {
 	case v, ok := <-s.ch:
@@ -109,6 +222,9 @@ func (s *Stream[T]) TryRead() (T, bool) {
 		s.mu.Lock()
 		s.reads++
 		s.mu.Unlock()
+		if p := s.probe; p != nil {
+			p.pops.Add(1)
+		}
 		return v, true
 	default:
 		var zero T
@@ -117,7 +233,10 @@ func (s *Stream[T]) TryRead() (T, bool) {
 }
 
 // Close marks the producer side finished; the consumer can drain the
-// remaining values. Closing twice is a no-op.
+// remaining values, after which Read fails with ErrStreamClosed instead
+// of blocking. Closing twice is a no-op. Producers must Close on every
+// exit path (use defer), or the consumer side of the dataflow network
+// deadlocks waiting for data that will never arrive.
 func (s *Stream[T]) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,6 +245,17 @@ func (s *Stream[T]) Close() {
 		close(s.ch)
 	}
 }
+
+// Closed reports whether the producer has closed the stream (values may
+// still be buffered; see Len).
+func (s *Stream[T]) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Len returns the current FIFO occupancy.
+func (s *Stream[T]) Len() int { return len(s.ch) }
 
 // Stats returns (writes, reads, high-water occupancy).
 func (s *Stream[T]) Stats() (writes, reads uint64, highWater int) {

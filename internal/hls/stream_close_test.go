@@ -1,0 +1,174 @@
+package hls
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamCloseDrainDeterministic pins the close/drain contract the
+// Stream doc promises: after the producer closes, buffered values drain
+// in order, and every Read past the drain fails immediately and forever
+// with ErrStreamClosed — it never blocks.
+func TestStreamCloseDrainDeterministic(t *testing.T) {
+	s := NewStream[int]("drain", 8)
+	for i := 0; i < 5; i++ {
+		s.Write(i)
+	}
+	s.Close()
+
+	// Buffered values drain in FIFO order after close.
+	for i := 0; i < 5; i++ {
+		v, err := s.Read()
+		if err != nil {
+			t.Fatalf("Read %d after close: unexpected error %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("Read %d after close = %d, want %d", i, v, i)
+		}
+	}
+
+	// Once drained, Read fails deterministically — and keeps failing.
+	for i := 0; i < 3; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Read()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrStreamClosed) {
+				t.Fatalf("Read on drained stream: err = %v, want ErrStreamClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Read on closed-and-drained stream blocked instead of failing")
+		}
+	}
+}
+
+func TestStreamCloseSignalsBlockedReader(t *testing.T) {
+	s := NewStream[int]("wake", 4)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Read()
+		errc <- err
+	}()
+	// Give the reader time to block on the empty FIFO, then close: the
+	// blocked Read must wake up with ErrStreamClosed, not hang.
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrStreamClosed) {
+			t.Fatalf("blocked Read woken by Close: err = %v, want ErrStreamClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake a blocked Read")
+	}
+}
+
+func TestStreamWriteAfterClosePanics(t *testing.T) {
+	s := NewStream[int]("werr", 2)
+	s.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Write after Close did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrStreamClosed) {
+			t.Fatalf("Write-after-close panic = %v, want error wrapping ErrStreamClosed", r)
+		}
+	}()
+	s.Write(1)
+}
+
+func TestStreamMustReadPanicsAfterDrain(t *testing.T) {
+	s := NewStream[int]("must", 2)
+	s.Write(7)
+	s.Close()
+	if got := s.MustRead(); got != 7 {
+		t.Fatalf("MustRead = %d, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRead on drained stream did not panic")
+		}
+	}()
+	s.MustRead()
+}
+
+func TestStreamDoubleCloseNoOp(t *testing.T) {
+	s := NewStream[int]("dbl", 2)
+	s.Close()
+	s.Close() // must not panic
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+// TestStreamTryReadClosedDisambiguation exercises the documented polling
+// pattern: TryRead's false result means "retry" until Closed() reports
+// the stream will never become readable again.
+func TestStreamTryReadClosedDisambiguation(t *testing.T) {
+	s := NewStream[int]("try", 4)
+	s.Write(42)
+
+	if _, ok := s.TryRead(); !ok {
+		t.Fatal("TryRead on non-empty stream returned false")
+	}
+	if _, ok := s.TryRead(); ok {
+		t.Fatal("TryRead on empty stream returned true")
+	}
+	if s.Closed() {
+		t.Fatal("Closed() = true before Close")
+	}
+	s.Close()
+	if _, ok := s.TryRead(); ok {
+		t.Fatal("TryRead on closed-and-drained stream returned true")
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close — poller cannot terminate")
+	}
+}
+
+// TestStreamProducerConsumerShutdown runs the full dataflow shutdown
+// protocol under the race detector: producer closes via defer, consumer
+// drains to the deterministic end-of-stream error.
+func TestStreamProducerConsumerShutdown(t *testing.T) {
+	const n = 1000
+	s := NewStream[int]("pc", 16)
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer s.Close()
+		for i := 0; i < n; i++ {
+			s.Write(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			v, err := s.Read()
+			if err != nil {
+				if !errors.Is(err, ErrStreamClosed) {
+					t.Errorf("consumer error %v, want ErrStreamClosed", err)
+				}
+				return
+			}
+			got = append(got, v)
+		}
+	}()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumer drained %d values, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO order violated)", i, v, i)
+		}
+	}
+}

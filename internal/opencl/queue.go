@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // EventStatus tracks the lifecycle of an enqueued command.
@@ -87,6 +89,28 @@ type CommandQueue struct {
 	pending  chan command
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Telemetry handles, set once by SetTelemetry before commands are
+	// enqueued; all nil (no-op) when tracing is off.
+	tel     *telemetry.Recorder
+	telWall *telemetry.Track   // host-side worker activity (wall clock)
+	telSim  *telemetry.Track   // simulated device timeline
+	cCmds   *telemetry.Counter // commands completed
+}
+
+// SetTelemetry attaches the queue to a recorder: every command gets an
+// EvEnqueue instant plus two EvCommand spans named after the command —
+// one on the wall-clock worker track (host-observed execution) and one
+// on the simulated device timeline (the profiled start/end the paper's
+// event profiling reports). Must be called before the first enqueue.
+func (q *CommandQueue) SetTelemetry(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	q.tel = rec
+	q.telWall = rec.Track(fmt.Sprintf("queue[%s] worker", q.Device.Name), telemetry.Wall)
+	q.telSim = rec.Track(fmt.Sprintf("queue[%s] device", q.Device.Name), telemetry.SimClock)
+	q.cCmds = rec.Counter("queue.commands", "events", "OpenCL commands completed")
 }
 
 // NewCommandQueue creates an in-order queue for the device.
@@ -143,7 +167,12 @@ func (q *CommandQueue) worker() {
 		c.ev.start = start
 		c.ev.mu.Unlock()
 
+		lbl := q.tel.Intern(c.ev.name)
+		w0 := q.telWall.Now()
 		err := c.run()
+		q.telWall.SpanL(telemetry.EvCommand, lbl, w0, q.telWall.Now(), 0)
+		q.telSim.SpanL(telemetry.EvCommand, lbl, start.Microseconds(), end.Microseconds(), 0)
+		q.cCmds.Add(1)
 
 		c.ev.mu.Lock()
 		c.ev.end = end
@@ -173,6 +202,7 @@ func (q *CommandQueue) enqueue(name string, modelDur time.Duration, waits []*Eve
 		}
 	}
 	ev := &Event{name: name, done: make(chan struct{})}
+	q.telWall.InstantL(telemetry.EvEnqueue, q.tel.Intern(name), q.telWall.Now(), 0)
 	q.pending <- command{ev: ev, modelDur: modelDur, waits: waits, run: run}
 	return ev, nil
 }

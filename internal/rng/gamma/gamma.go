@@ -149,8 +149,9 @@ type Generator struct {
 	// validity; mt2 feeds the correction, gated on overall acceptance.
 	mt0a, mt0b, mt1, mt2 *mt.Core
 
-	cycles   uint64 // total CycleStep invocations
-	accepted uint64 // cycles with Valid result
+	cycles      uint64 // total CycleStep invocations
+	accepted    uint64 // cycles with Valid result
+	normalValid uint64 // cycles whose uniform-to-normal stage was valid
 }
 
 // NewGenerator builds a pipelined generator with the given transform,
@@ -218,6 +219,9 @@ func (g *Generator) CycleStep() CycleResult {
 	g.cycles++
 
 	n0, n0ok := g.normalStep()
+	if n0ok {
+		g.normalValid++
+	}
 
 	u1 := rng.U32ToFloatOpen(g.mt1.Next(n0ok))
 	dv, accept := g.p.Candidate(n0, u1)
@@ -258,6 +262,14 @@ func (g *Generator) Cycles() uint64 { return g.cycles }
 
 // Accepted returns the number of iterations that produced a valid output.
 func (g *Generator) Accepted() uint64 { return g.accepted }
+
+// NormalValid returns the number of iterations whose uniform-to-normal
+// stage produced a valid candidate. Cycles − NormalValid is the cost of
+// transform-level rejection (polar retries), and doubles as the hold
+// count of the gated MT1 stream (its enable is the normal validity);
+// Cycles − Accepted is likewise MT2's hold count. The telemetry layer
+// uses these to attribute stalls to the Mersenne-Twister feed streams.
+func (g *Generator) NormalValid() uint64 { return g.normalValid }
 
 // RejectionRate returns the observed combined rejection rate r such that
 // the pipeline needs (1+r)·n iterations per n outputs — the r of the

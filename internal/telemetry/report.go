@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders the plain-text stall-attribution report: the answer
+// to "where did the cycles go?". Instrumentation sites register
+// counters with a unit and a human description; the report groups the
+// per-work-item instances (names like "rejection.gamma-loop[3]" share
+// the group "rejection.gamma-loop"), ranks the groups, and expresses
+// cycle-domain groups as a share of the total pipeline cycles.
+//
+// Naming conventions the report understands:
+//
+//   - unit "cycles": simulated-clock attribution; ranked against the
+//     "engine.cycles" group (total pipeline iterations) when present.
+//   - unit "ns": wall-clock blocking time measured around blocking
+//     stream operations; ranked separately (the functional engine runs
+//     on goroutines, so wall time is a proxy, not a cycle count).
+//   - any other unit: listed unranked at the end (bursts, commands...).
+//
+// The "engine.cycles"/"engine.accepted" groups, when present, feed the
+// header's combined rejection rate (Eq. (1)'s r).
+
+// reportGroup is one aggregated row of the report.
+type reportGroup struct {
+	name      string
+	desc      string
+	unit      string
+	total     int64
+	instances int
+}
+
+// groupKey strips a trailing "[...]" instance suffix from a counter
+// name: "mtfeed.mt1-hold[4]" → "mtfeed.mt1-hold". Only a *trailing*
+// bracket group is an instance index — "stream.gamma[0].push-block"
+// names one specific stream and stays its own group, so the report can
+// rank individual streams.
+func groupKey(name string) string {
+	if strings.HasSuffix(name, "]") {
+		if i := strings.LastIndexByte(name, '['); i > 0 {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// groups aggregates counters by groupKey, preserving first-seen desc.
+func (r *Recorder) groups() map[string]*reportGroup {
+	cs := r.Counters()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name() < cs[j].Name() })
+	out := map[string]*reportGroup{}
+	for _, c := range cs {
+		key := groupKey(c.Name())
+		g, ok := out[key]
+		if !ok {
+			g = &reportGroup{name: key, desc: c.Desc(), unit: c.Unit()}
+			out[key] = g
+		}
+		g.total += c.Value()
+		g.instances++
+	}
+	return out
+}
+
+// StallReport renders the attribution report ("" on a nil recorder).
+func (r *Recorder) StallReport() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	groups := r.groups()
+
+	var cycleGroups, nsGroups, otherGroups []*reportGroup
+	for _, g := range groups {
+		switch {
+		case g.unit == "cycles" && g.name != "engine.cycles" && g.name != "engine.accepted":
+			cycleGroups = append(cycleGroups, g)
+		case g.unit == "ns":
+			nsGroups = append(nsGroups, g)
+		case g.name != "engine.cycles" && g.name != "engine.accepted":
+			otherGroups = append(otherGroups, g)
+		}
+	}
+	rank := func(gs []*reportGroup) {
+		sort.Slice(gs, func(i, j int) bool {
+			if gs[i].total != gs[j].total {
+				return gs[i].total > gs[j].total
+			}
+			return gs[i].name < gs[j].name
+		})
+	}
+	rank(cycleGroups)
+	rank(nsGroups)
+	rank(otherGroups)
+
+	fmt.Fprintf(&b, "Stall attribution report\n")
+	fmt.Fprintf(&b, "========================\n")
+	var totalCycles, accepted int64
+	if g, ok := groups["engine.cycles"]; ok {
+		totalCycles = g.total
+	}
+	if g, ok := groups["engine.accepted"]; ok {
+		accepted = g.total
+	}
+	if totalCycles > 0 {
+		fmt.Fprintf(&b, "pipeline cycles: %d   accepted outputs: %d", totalCycles, accepted)
+		if accepted > 0 {
+			fmt.Fprintf(&b, "   combined rejection rate r = %.4f", float64(totalCycles-accepted)/float64(accepted))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	total, dropped := r.Emitted()
+	fmt.Fprintf(&b, "events recorded: %d (ring dropped %d)\n\n", total, dropped)
+
+	if len(cycleGroups) > 0 {
+		fmt.Fprintf(&b, "Cycle attribution (ranked, share of pipeline cycles)\n")
+		fmt.Fprintf(&b, "%-4s %-44s %14s %8s\n", "rank", "source", "cycles", "share")
+		for i, g := range cycleGroups {
+			share := "-"
+			if totalCycles > 0 {
+				share = fmt.Sprintf("%5.1f%%", 100*float64(g.total)/float64(totalCycles))
+			}
+			label := g.desc
+			if label == "" {
+				label = g.name
+			}
+			fmt.Fprintf(&b, "%-4d %-44s %14d %8s\n", i+1, label, g.total, share)
+			if g.desc != "" {
+				fmt.Fprintf(&b, "     [%s, %d instance(s)]\n", g.name, g.instances)
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	if len(nsGroups) > 0 {
+		fmt.Fprintf(&b, "Wall-clock blocking (ranked; goroutine-level proxy)\n")
+		fmt.Fprintf(&b, "%-4s %-44s %14s\n", "rank", "source", "blocked")
+		for i, g := range nsGroups {
+			label := g.desc
+			if label == "" {
+				label = g.name
+			}
+			fmt.Fprintf(&b, "%-4d %-44s %11.3fms\n", i+1, label, float64(g.total)/1e6)
+			if g.desc != "" {
+				fmt.Fprintf(&b, "     [%s, %d instance(s)]\n", g.name, g.instances)
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	if len(otherGroups) > 0 {
+		fmt.Fprintf(&b, "Other counters\n")
+		for _, g := range otherGroups {
+			fmt.Fprintf(&b, "  %-48s %14d %s\n", g.name, g.total, g.unit)
+		}
+	}
+	return b.String()
+}
+
+// WriteStallReport writes the attribution report to w.
+func (r *Recorder) WriteStallReport(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: nil recorder has no report")
+	}
+	_, err := io.WriteString(w, r.StallReport())
+	return err
+}

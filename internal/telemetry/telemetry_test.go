@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRecorderIsNoOp pins the disabled-mode contract: every handle a
+// nil recorder gives out must swallow all operations without allocating
+// or panicking — this is what lets the hot paths stay instrumented
+// unconditionally.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	tr := r.Track("x", Wall)
+	if tr != nil {
+		t.Fatal("nil recorder returned a live track")
+	}
+	tr.Instant(EvStreamPush, 1, 2)
+	tr.Span(EvProcess, 0, 5, 0)
+	tr.SpanL(EvCommand, 7, 0, 5, 0)
+	if tr.Now() != 0 || tr.Name() != "" {
+		t.Fatal("nil track leaked state")
+	}
+	c := r.Counter("c", "cycles", "")
+	c.Add(5)
+	c.Set(9)
+	if c.Value() != 0 || c.Name() != "" || c.Unit() != "" || c.Desc() != "" {
+		t.Fatal("nil counter retained a value")
+	}
+	if r.Intern("label") != 0 {
+		t.Fatal("nil recorder interned a label")
+	}
+	if r.Events() != nil || r.Counters() != nil || r.Tracks() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	if total, dropped := r.Emitted(); total != 0 || dropped != 0 {
+		t.Fatal("nil recorder emitted events")
+	}
+	if r.StallReport() != "" {
+		t.Fatal("nil recorder produced a report")
+	}
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil recorder wrote a trace")
+	}
+}
+
+// TestRingOverwrite checks that the ring keeps exactly the newest capN
+// events, in order, and accounts the overwritten ones.
+func TestRingOverwrite(t *testing.T) {
+	r := New(8)
+	tr := r.Track("lane", Cycles)
+	for i := 0; i < 20; i++ {
+		tr.Instant(EvRetry, int64(i), int64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.TS != want {
+			t.Fatalf("event %d has ts %d, want %d (oldest-first order)", i, ev.TS, want)
+		}
+	}
+	total, dropped := r.Emitted()
+	if total != 20 || dropped != 12 {
+		t.Fatalf("emitted (%d, %d), want (20, 12)", total, dropped)
+	}
+}
+
+// TestTrackAndCounterIdempotence checks registry lookups are stable.
+func TestTrackAndCounterIdempotence(t *testing.T) {
+	r := New(16)
+	a := r.Track("t", Wall)
+	b := r.Track("t", Wall)
+	if a != b {
+		t.Fatal("same name+domain gave two tracks")
+	}
+	if c := r.Track("t", Cycles); c == a {
+		t.Fatal("different domain shared a track")
+	}
+	c1 := r.Counter("n", "cycles", "desc")
+	c2 := r.Counter("n", "ignored", "ignored")
+	if c1 != c2 {
+		t.Fatal("same name gave two counters")
+	}
+	c1.Add(3)
+	if c2.Value() != 3 {
+		t.Fatal("counter handles diverged")
+	}
+	if id := r.Intern("cmd"); id == 0 || id != r.Intern("cmd") {
+		t.Fatal("interning is not stable")
+	}
+}
+
+// TestConcurrentEmit drives the recorder from several goroutines; run
+// with -race this pins the thread-safety of the ring and registries.
+func TestConcurrentEmit(t *testing.T) {
+	r := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := r.Track("lane", Cycles)
+			c := r.Counter("shared", "cycles", "")
+			for i := 0; i < 500; i++ {
+				tr.Instant(EvStreamPush, int64(i), 0)
+				tr.Span(EvMemBurst, int64(i), int64(i+4), 64)
+				c.Add(1)
+				r.Intern("x")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared", "cycles", "").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if total, _ := r.Emitted(); total != 8000 {
+		t.Fatalf("emitted %d events, want 8000", total)
+	}
+}
+
+// TestChromeTraceShape validates the exporter output is parseable JSON
+// in the trace_event wrapper shape with metadata, spans, instants and
+// counter samples, and that clock domains land on distinct pids.
+func TestChromeTraceShape(t *testing.T) {
+	r := New(64)
+	wallT := r.Track("Transfer[0]", Wall)
+	cycT := r.Track("GammaRNG[0]", Cycles)
+	wallT.Span(EvProcess, 0, 100, 0)
+	cycT.Instant(EvRetry, 42, 3)
+	lbl := r.Intern("ndrange:Config3")
+	wallT.SpanL(EvCommand, lbl, 10, 30, 0)
+	r.Counter("engine.cycles[0]", "cycles", "").Add(1000)
+
+	raw, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var names []string
+	pids := map[string]float64{}
+	for _, ev := range parsed.TraceEvents {
+		name, _ := ev["name"].(string)
+		names = append(names, name)
+		if name == "thread_name" {
+			args := ev["args"].(map[string]any)
+			pids[args["name"].(string)] = ev["pid"].(float64)
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"process_name", "thread_name", "process", "rejection-retry", "ndrange:Config3", "engine.cycles[0]"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace missing %q; names: %s", want, joined)
+		}
+	}
+	if pids["Transfer[0]"] == pids["GammaRNG[0]"] {
+		t.Fatal("wall and cycle tracks share a trace process")
+	}
+}
+
+// TestStallReportRanking builds a synthetic counter set and checks the
+// report ranks cycle groups, sums per-work-item instances, computes the
+// rejection rate and separates the wall-clock section.
+func TestStallReportRanking(t *testing.T) {
+	r := New(16)
+	r.Counter("engine.cycles[0]", "cycles", "").Add(700)
+	r.Counter("engine.cycles[1]", "cycles", "").Add(300)
+	r.Counter("engine.accepted[0]", "cycles", "").Add(600)
+	r.Counter("engine.accepted[1]", "cycles", "").Add(200)
+	r.Counter("rejection.gamma-loop[0]", "cycles", "gamma rejection loop").Add(90)
+	r.Counter("rejection.gamma-loop[1]", "cycles", "gamma rejection loop").Add(60)
+	r.Counter("mtfeed.mt1-hold[0]", "cycles", "MT1 feed stream held").Add(40)
+	r.Counter("stream.gamma[0].push-block", "ns", "stream backpressure").Add(1_500_000)
+	r.Counter("membus.bursts", "events", "").Add(12)
+
+	rep := r.StallReport()
+	if !strings.Contains(rep, "combined rejection rate r = 0.2500") {
+		t.Fatalf("report missing rejection rate:\n%s", rep)
+	}
+	// gamma-loop (150) must rank above mt1-hold (40).
+	gi := strings.Index(rep, "gamma rejection loop")
+	mi := strings.Index(rep, "MT1 feed stream held")
+	if gi < 0 || mi < 0 || gi > mi {
+		t.Fatalf("cycle ranking wrong (gamma at %d, mt1 at %d):\n%s", gi, mi, rep)
+	}
+	if !strings.Contains(rep, "15.0%") { // 150/1000 pipeline cycles
+		t.Fatalf("report missing gamma-loop share:\n%s", rep)
+	}
+	if !strings.Contains(rep, "1.500ms") {
+		t.Fatalf("report missing wall-clock section:\n%s", rep)
+	}
+	if !strings.Contains(rep, "membus.bursts") {
+		t.Fatalf("report missing other-counter section:\n%s", rep)
+	}
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate (same steps as `make check`): vet, build, race-enabled
+# tests. Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "tier-1 gate: OK"

@@ -8,6 +8,7 @@ import (
 	"github.com/decwi/decwi/internal/fpga"
 	"github.com/decwi/decwi/internal/opencl"
 	"github.com/decwi/decwi/internal/perf"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // Session is the OpenCL-level path through the system: a host context on
@@ -20,6 +21,20 @@ type Session struct {
 	Platform *opencl.Platform
 	Device   *opencl.Device
 	Queue    *opencl.CommandQueue
+
+	tel *telemetry.Recorder
+}
+
+// SetTelemetry attaches a recorder to the session: command-queue
+// enqueue/complete spans plus full engine instrumentation for every
+// subsequent EnqueueGamma. Call right after NewSession, before any
+// command is enqueued; a nil recorder is ignored.
+func (s *Session) SetTelemetry(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.tel = rec
+	s.Queue.SetTelemetry(rec)
 }
 
 // NewSession opens a session on the named device of the paper platform
@@ -79,6 +94,7 @@ func (s *Session) EnqueueGamma(c ConfigID, opt GenerateOptions, hostCombine bool
 		Scenarios: opt.Scenarios, Sectors: opt.Sectors,
 		SectorVariance: opt.Variance, SectorVariances: opt.Variances,
 		BurstRNs: opt.BurstRNs, Seed: opt.Seed,
+		Telemetry: s.tel,
 	})
 	if err != nil {
 		return nil, err
