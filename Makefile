@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace clean
+.PHONY: check vet build test race bench bench-smoke trace clean
 
-check: vet build race
+check: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,12 @@ race:
 # pre-telemetry engine (nil-receiver hooks only).
 bench:
 	$(GO) test -bench BenchmarkGamma -benchtime 1x -run '^$$' .
+
+# One-iteration smoke run of the burst-transport and sharded-generation
+# benchmarks, so they can never silently rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
+	$(GO) test -run '^$$' -bench BenchmarkGenerateParallel -benchtime 1x .
 
 # Smoke-test the tracing CLI (artifacts land in the working directory).
 trace:

@@ -389,6 +389,47 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateParallel is the transport-and-sharding ablation: the
+// per-value seed transport versus the batched WordRNs transport through
+// Generate, versus the sharded GenerateParallel runner. All three move
+// the same number of values; bytes/sec is the comparison axis.
+func BenchmarkGenerateParallel(b *testing.B) {
+	const scenarios, sectors = 65536, 1
+	opts := decwi.GenerateOptions{Scenarios: scenarios, Sectors: sectors, WorkItems: 4}
+	b.Run("per-value", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed, o.PerValueTransport = uint64(i+1), true
+			if _, err := decwi.Generate(decwi.Config2, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(scenarios * sectors * 4)
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i + 1)
+			if _, err := decwi.Generate(decwi.Config2, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(scenarios * sectors * 4)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i + 1)
+			if _, err := decwi.GenerateParallel(decwi.Config2, decwi.ParallelOptions{
+				GenerateOptions: o, Shards: 4,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(scenarios * sectors * 4)
+	})
+}
+
 // BenchmarkPortfolioRisk measures the CreditRisk+ application path.
 func BenchmarkPortfolioRisk(b *testing.B) {
 	p, err := decwi.NewUniformPortfolio(4, 1.39, 50, 0.02, 100)

@@ -124,6 +124,11 @@ type GenerateOptions struct {
 	BurstRNs int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// PerValueTransport selects the engine's pre-burst transport (one
+	// stream operation per float32) instead of the default WordRNs-sized
+	// batches. Output is bitwise-identical either way; the knob exists
+	// for the equivalence tests and the before/after benchmarks.
+	PerValueTransport bool
 }
 
 // GenerateResult carries the generated data and its run metadata.
@@ -166,15 +171,16 @@ func Generate(c ConfigID, opt GenerateOptions) (*GenerateResult, error) {
 		wi = k.FPGAWorkItems
 	}
 	eng, err := core.NewEngine(core.Config{
-		Transform:       k.Transform,
-		MTParams:        k.MTParams,
-		WorkItems:       wi,
-		Scenarios:       opt.Scenarios,
-		Sectors:         opt.Sectors,
-		SectorVariance:  opt.Variance,
-		SectorVariances: opt.Variances,
-		BurstRNs:        opt.BurstRNs,
-		Seed:            opt.Seed,
+		Transform:         k.Transform,
+		MTParams:          k.MTParams,
+		WorkItems:         wi,
+		Scenarios:         opt.Scenarios,
+		Sectors:           opt.Sectors,
+		SectorVariance:    opt.Variance,
+		SectorVariances:   opt.Variances,
+		BurstRNs:          opt.BurstRNs,
+		Seed:              opt.Seed,
+		PerValueTransport: opt.PerValueTransport,
 	})
 	if err != nil {
 		return nil, err

@@ -61,6 +61,9 @@ func TestConfigValidation(t *testing.T) {
 		"burst negative":      func(c *Config) { c.BurstRNs = -16 },
 		"negative breakid":    func(c *Config) { c.BreakID = -1 },
 		"limit factor too lo": func(c *Config) { c.LimitMaxFactor = 1 },
+		"zero variance entry": func(c *Config) { c.SectorVariances = []float64{1.39, 0} },
+		"neg variance entry":  func(c *Config) { c.SectorVariances = []float64{-0.5, 1.39} },
+		"negative depth":      func(c *Config) { c.StreamDepth = -1 },
 	} {
 		c := good
 		mutate(&c)

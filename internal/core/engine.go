@@ -34,8 +34,15 @@ type Config struct {
 	// must be a multiple of WordRNs. Default 64.
 	BurstRNs int
 	// StreamDepth is the hls::stream FIFO depth between generation and
-	// transfer. Default 64.
+	// transfer. Default 64; negative depths are rejected.
 	StreamDepth int
+	// PerValueTransport moves one float32 per stream operation between
+	// GammaRNG and Transfer (the original Listing 1 handshake) instead
+	// of the default WordRNs-sized bursts. The generated data is
+	// bitwise-identical either way (TestBatchedTransportEquivalence);
+	// the knob exists for the equivalence tests and the before/after
+	// benchmarks, not for production use.
+	PerValueTransport bool
 	// BreakID is the counter delay index of Listing 2 ("here it
 	// suffices to use zero").
 	BreakID int
@@ -63,6 +70,14 @@ func (c Config) setDefaults() (Config, error) {
 	if c.SectorVariances != nil && len(c.SectorVariances) != c.Sectors {
 		return c, fmt.Errorf("core: SectorVariances length %d != Sectors %d", len(c.SectorVariances), c.Sectors)
 	}
+	// Per-sector variances must each be positive: a zero/negative (or
+	// NaN) entry is a degenerate gamma parameterization that previously
+	// slipped past validation and failed deep inside the generator.
+	for i, v := range c.SectorVariances {
+		if !(v > 0) {
+			return c, fmt.Errorf("core: SectorVariances[%d] must be positive, got %g", i, v)
+		}
+	}
 	if c.SectorVariances == nil && !(c.SectorVariance > 0) {
 		return c, fmt.Errorf("core: SectorVariance must be positive, got %g", c.SectorVariance)
 	}
@@ -71,6 +86,11 @@ func (c Config) setDefaults() (Config, error) {
 	}
 	if c.BurstRNs < WordRNs || c.BurstRNs%WordRNs != 0 {
 		return c, fmt.Errorf("core: BurstRNs %d must be a positive multiple of %d", c.BurstRNs, WordRNs)
+	}
+	if c.StreamDepth < 0 {
+		// hls.NewStream clamps sub-1 depths to 1; a negative depth is a
+		// configuration error and must not be silently absorbed.
+		return c, fmt.Errorf("core: StreamDepth must be ≥ 0 (0 selects the default), got %d", c.StreamDepth)
 	}
 	if c.StreamDepth == 0 {
 		c.StreamDepth = 64
@@ -230,7 +250,10 @@ func (e *Engine) Run() (*RunResult, error) {
 
 // gammaRNG is Listing 2: SECLOOP over sectors, each running the delayed-
 // exit MAINLOOP until limitMain validated outputs are written to the
-// stream.
+// stream. Validated outputs are staged in a WordRNs-sized batch and
+// moved with one WriteBurst per 512-bit word (unless PerValueTransport
+// re-selects the per-value handshake); the value sequence on the stream
+// is identical either way.
 func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *hls.Stream[float32], stats *WorkItemStats) error {
 	defer out.Close()
 	cfg := e.cfg
@@ -240,6 +263,22 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 	// and everything here is per-sector or per-run — the MAINLOOP body
 	// itself carries no instrumentation.
 	tr := cfg.Telemetry.Track(fmt.Sprintf("GammaRNG[%d]", wid), telemetry.Cycles)
+
+	var batch []float32
+	if !cfg.PerValueTransport {
+		batch = make([]float32, 0, WordRNs)
+	}
+	emit := func(v float32) {
+		if batch == nil {
+			out.Write(v)
+			return
+		}
+		batch = append(batch, v)
+		if len(batch) == WordRNs {
+			out.WriteBurst(batch)
+			batch = batch[:0]
+		}
+	}
 
 	for sector := 0; sector < cfg.Sectors; sector++ {
 		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
@@ -253,7 +292,7 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 			reg.Update(counter)
 			r := gen.CycleStep()
 			if r.Valid && int64(counter) < limitMain {
-				out.Write(r.Gamma)
+				emit(r.Gamma)
 				counter++
 				if int64(counter) == limitMain {
 					quotaAt = k
@@ -269,6 +308,11 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 		tr.Span(telemetry.EvSector, sectorStart, int64(gen.Cycles()), trips)
 		// Retry attribution for this sector: loop trips beyond the quota.
 		tr.Instant(telemetry.EvRetry, int64(gen.Cycles()), trips-limitMain)
+	}
+	// Flush the partial trailing batch (runs before the deferred Close,
+	// so the consumer sees every emitted value before end-of-stream).
+	if len(batch) > 0 {
+		out.WriteBurst(batch)
 	}
 	stats.Cycles = gen.Cycles()
 	stats.Accepted = gen.Accepted()
@@ -305,12 +349,14 @@ func (e *Engine) recordWICounters(wid int, gen *gamma.Generator) {
 
 // transfer is Listing 4: read the stream, pack into 512-bit words, fill
 // the burst buffer, and copy each completed burst into the single device
-// buffer at this work-item's running offset.
+// buffer at this work-item's running offset. The default path dequeues
+// one whole 512-bit word per ReadBurst; PerValueTransport re-selects the
+// seed behaviour of one Read per value through Packer512. Both paths
+// write the identical byte sequence into the device buffer.
 func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res *RunResult, stats *WorkItemStats) error {
 	cfg := e.cfg
 	burstWords := cfg.BurstRNs / WordRNs
 	burst := make([]Word512, 0, burstWords)
-	var pk Packer512
 	tr := cfg.Telemetry.Track(fmt.Sprintf("Transfer[%d]", wid), telemetry.Wall)
 	cBursts := cfg.Telemetry.Counter(fmt.Sprintf("membus.bursts[%d]", wid), "events",
 		"memory bursts issued by the Transfer engine")
@@ -336,27 +382,57 @@ func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res
 	}
 
 	total := limitMain * int64(cfg.Sectors)
-	for i := int64(0); i < total; i++ {
-		v, err := in.Read()
-		if err != nil {
-			return fmt.Errorf("core: transfer %d: stream ended after %d of %d values: %w", wid, i, total, err)
+	if cfg.PerValueTransport {
+		var pk Packer512
+		for i := int64(0); i < total; i++ {
+			v, err := in.Read()
+			if err != nil {
+				return fmt.Errorf("core: transfer %d: stream ended after %d of %d values: %w", wid, i, total, err)
+			}
+			if w, ok := pk.Push(v); ok {
+				burst = append(burst, w)
+				if len(burst) == burstWords {
+					flushBurst()
+				}
+			}
 		}
-		if w, ok := pk.Push(v); ok {
+		// Tail handling for non-divisible workloads: emit the partial
+		// word with exact length so no padding lands in the result buffer.
+		if w, ok := pk.Flush(); ok {
+			flushBurst()
+			emit(w, int(total%int64(WordRNs)))
+			stats.FlushedWords++
+			stats.Bursts++
+		} else {
+			flushBurst()
+		}
+	} else {
+		var w Word512
+		words := total / int64(WordRNs)
+		for i := int64(0); i < words; i++ {
+			n, err := in.ReadBurst(w[:])
+			if err != nil || n < WordRNs {
+				return fmt.Errorf("core: transfer %d: stream ended after %d of %d values: %w",
+					wid, i*int64(WordRNs)+int64(n), total, errTruncated(err))
+			}
 			burst = append(burst, w)
 			if len(burst) == burstWords {
 				flushBurst()
 			}
 		}
-	}
-	// Tail handling for non-divisible workloads: emit the partial word
-	// with exact length so no padding lands in the result buffer.
-	if w, ok := pk.Flush(); ok {
-		flushBurst()
-		emit(w, int(total%int64(WordRNs)))
-		stats.FlushedWords++
-		stats.Bursts++
-	} else {
-		flushBurst()
+		if rem := int(total % int64(WordRNs)); rem > 0 {
+			n, err := in.ReadBurst(w[:rem])
+			if err != nil || n < rem {
+				return fmt.Errorf("core: transfer %d: stream ended after %d of %d values: %w",
+					wid, words*int64(WordRNs)+int64(n), total, errTruncated(err))
+			}
+			flushBurst()
+			emit(w, rem)
+			stats.FlushedWords++
+			stats.Bursts++
+		} else {
+			flushBurst()
+		}
 	}
 	if offset != res.BlockOffsets[wid+1] {
 		return fmt.Errorf("core: transfer %d: wrote %d values, block expects %d",
@@ -368,6 +444,15 @@ func (e *Engine) transfer(wid int, limitMain int64, in *hls.Stream[float32], res
 
 // streamStats adapts the Stream telemetry accessor.
 func streamStats(s *hls.Stream[float32]) (uint64, uint64, int) { return s.Stats() }
+
+// errTruncated normalises the short-read cases of ReadBurst: a short
+// count with a nil error still means the producer closed early.
+func errTruncated(err error) error {
+	if err != nil {
+		return err
+	}
+	return hls.ErrStreamClosed
+}
 
 // At returns the value for (workItem, sector, scenarioIndex) from the
 // device layout.

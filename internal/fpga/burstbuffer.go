@@ -1,0 +1,86 @@
+package fpga
+
+// burstBuffer models Listing 4's ping-pong burst buffers at beat
+// granularity: values accumulate into the filling half one per cycle
+// (the TLOOP body at II=1); a completed burst moves to the pending half
+// and waits for a channel grant; filling continues while a granted
+// burst is in flight (DEPENDENCE=false double buffering), so the engine
+// only stalls the FIFO drain when both halves are occupied.
+//
+// The type is purely mechanical state: it never advances time itself,
+// the co-simulation loop drives it cycle by cycle. That keeps the
+// cycle-exact contract (validated against the analytic model in
+// cosim_test.go) independent of how lanes share the channel.
+type burstBuffer struct {
+	capacity int // burst length in values
+
+	fill           int   // values accumulated in the filling half
+	pending        bool  // a completed burst awaits a channel grant
+	pendingPayload int   // real (non-padding) values in the pending burst
+	drainPayload   int   // real values in the in-flight burst
+	readyAt        int64 // cycle at which the next grant may be accepted
+	drainEnd       int64 // cycle at which the in-flight burst completes
+	grantCycle     int64 // cycle the in-flight burst was granted
+}
+
+// canAccept reports whether the engine may move one more value from the
+// FIFO into the filling half this cycle. A saturated double buffer
+// (filling half full-and-promoted while a burst is still pending)
+// back-pressures the FIFO, which in turn stalls the generator pipeline.
+func (b *burstBuffer) canAccept() bool { return b.fill < b.capacity && !b.pending }
+
+// push accumulates one value; a full filling half flips to pending.
+func (b *burstBuffer) push() {
+	b.fill++
+	if b.fill == b.capacity {
+		b.promote()
+	}
+}
+
+// promote hands the filling half to the channel side.
+func (b *burstBuffer) promote() {
+	b.pendingPayload = b.fill
+	b.fill = 0
+	b.pending = true
+}
+
+// wantsGrant reports whether a pending burst may take the channel this
+// cycle, honouring the engine-side turnaround between its own bursts.
+func (b *burstBuffer) wantsGrant(cycle int64) bool { return b.pending && cycle >= b.readyAt }
+
+// grant starts the in-flight burst: it occupies the channel for cost
+// cycles, and the engine waits turnaround cycles after completion
+// before its next grant.
+func (b *burstBuffer) grant(cycle, cost, turnaround int64) {
+	b.pending = false
+	b.drainPayload = b.pendingPayload
+	b.pendingPayload = 0
+	b.drainEnd = cycle + cost
+	b.grantCycle = cycle
+	b.readyAt = b.drainEnd + turnaround
+}
+
+// complete returns the in-flight payload if the burst finishes on this
+// exact cycle. The payload is returned in bulk — callers account all
+// its values with a single counter increment.
+func (b *burstBuffer) complete(cycle int64) (int, bool) {
+	if b.drainEnd != 0 && cycle == b.drainEnd {
+		p := b.drainPayload
+		b.drainPayload = 0
+		b.drainEnd = 0
+		return p, true
+	}
+	return 0, false
+}
+
+// flushTail promotes a partial filling half once the producer is done
+// and the FIFO is drained (the hardware pads it to whole 512-bit beats;
+// only the real payload counts toward completion). Returns whether a
+// tail burst was promoted.
+func (b *burstBuffer) flushTail() bool {
+	if b.fill > 0 && !b.pending && b.drainEnd == 0 {
+		b.promote()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package fpga
+
+import "testing"
+
+// TestBurstBufferDoubleBuffering pins the ping-pong mechanics the
+// co-simulation's cycle counts depend on: fill → promote → grant →
+// fill-while-in-flight → complete, with turnaround gating the next
+// grant and a saturated pair back-pressuring the fill side.
+func TestBurstBufferDoubleBuffering(t *testing.T) {
+	b := burstBuffer{capacity: 4}
+
+	// Fill the first burst.
+	for i := 0; i < 4; i++ {
+		if !b.canAccept() {
+			t.Fatalf("canAccept = false at fill %d", i)
+		}
+		b.push()
+	}
+	if !b.pending || b.pendingPayload != 4 || b.fill != 0 {
+		t.Fatalf("after 4 pushes: pending=%v payload=%d fill=%d", b.pending, b.pendingPayload, b.fill)
+	}
+	// Pending blocks further filling (double buffer saturated).
+	if b.canAccept() {
+		t.Fatal("canAccept with a pending burst")
+	}
+	if !b.wantsGrant(0) {
+		t.Fatal("pending burst does not want the channel")
+	}
+
+	// Grant at cycle 10: cost 6, turnaround 2.
+	b.grant(10, 6, 2)
+	if b.pending || b.drainPayload != 4 || b.drainEnd != 16 || b.grantCycle != 10 || b.readyAt != 18 {
+		t.Fatalf("grant state: %+v", b)
+	}
+	// Filling resumes while the burst is in flight.
+	if !b.canAccept() {
+		t.Fatal("canAccept = false while burst in flight")
+	}
+	for i := 0; i < 4; i++ {
+		b.push()
+	}
+	// The second burst is pending but must honour the turnaround: no
+	// grant before readyAt even though it is ready.
+	if b.wantsGrant(16) || b.wantsGrant(17) {
+		t.Fatal("grant accepted before engine turnaround elapsed")
+	}
+	if !b.wantsGrant(18) {
+		t.Fatal("grant refused at readyAt")
+	}
+
+	// Completion fires on the exact drainEnd cycle only, and in bulk.
+	if p, ok := b.complete(15); ok || p != 0 {
+		t.Fatalf("early complete: (%d, %v)", p, ok)
+	}
+	p, ok := b.complete(16)
+	if !ok || p != 4 {
+		t.Fatalf("complete at drainEnd: (%d, %v), want (4, true)", p, ok)
+	}
+	if p, ok := b.complete(16); ok || p != 0 {
+		t.Fatalf("double completion: (%d, %v)", p, ok)
+	}
+}
+
+// TestBurstBufferTailFlush: a partial filling half is promoted exactly
+// once, and only when nothing is pending or in flight.
+func TestBurstBufferTailFlush(t *testing.T) {
+	b := burstBuffer{capacity: 8}
+	if b.flushTail() {
+		t.Fatal("flushTail on empty buffer")
+	}
+	b.push()
+	b.push()
+	b.push()
+	if !b.flushTail() {
+		t.Fatal("flushTail refused a partial burst")
+	}
+	if !b.pending || b.pendingPayload != 3 || b.fill != 0 {
+		t.Fatalf("tail promote state: %+v", b)
+	}
+	if b.flushTail() {
+		t.Fatal("flushTail promoted twice")
+	}
+	b.grant(0, 4, 0)
+	b.push()
+	if b.flushTail() {
+		t.Fatal("flushTail while a burst is in flight")
+	}
+	if p, ok := b.complete(4); !ok || p != 3 {
+		t.Fatalf("tail burst completion: (%d, %v)", p, ok)
+	}
+	if !b.flushTail() {
+		t.Fatal("flushTail refused after drain finished")
+	}
+	if b.pendingPayload != 1 {
+		t.Fatalf("second tail payload = %d, want 1", b.pendingPayload)
+	}
+}

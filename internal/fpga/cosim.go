@@ -128,20 +128,14 @@ type laneState struct {
 	produced int64 // valid outputs pushed so far
 	fifo     int   // current FIFO occupancy (values)
 
-	// Ping-pong burst buffers: fill counts in values.
-	fill           int
-	pending        bool  // a full burst waits for the channel
-	pendingPayload int   // real (non-padding) values in the pending burst
-	drainPayload   int   // real values in the in-flight burst
-	readyAt        int64 // cycle at which the engine may issue its next burst
-	drainEnd       int64 // cycle at which the in-flight burst completes
+	// Ping-pong burst buffers (Listing 4 double buffering).
+	buf burstBuffer
 
 	// Telemetry state (inert when tracing is off).
 	tr         *telemetry.Track   // per-lane cycle-domain track
 	cStall     *telemetry.Counter // FIFO-backpressure stall cycles
 	label      int32              // interned "lane N" for channel spans
 	stallStart int64              // first cycle of the open stall span, -1 if none
-	grantCycle int64              // cycle the in-flight burst was granted
 }
 
 // RunCoSim executes the co-simulation to completion.
@@ -158,9 +152,12 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 	memTr := rec.Track("memctrl", telemetry.Cycles)
 	cBusy := rec.Counter("cosim.channel-busy", "cycles", "memory channel occupied by bursts")
 	cBursts := rec.Counter("cosim.bursts", "events", "bursts granted by the channel arbiter")
+	cValues := rec.Counter("cosim.burst-values", "values",
+		"payload values landed in device memory, bulk-counted per completed burst")
 	lanes := make([]*laneState, cfg.WorkItems)
 	for i := range lanes {
 		ls := &laneState{stallStart: -1}
+		ls.buf.capacity = cfg.BurstRNs
 		if !cfg.TransfersOnly {
 			ls.gen = gamma.NewGenerator(cfg.Transform, cfg.MTParams,
 				gamma.MustFromVariance(cfg.Variance), wiSeeds[i])
@@ -198,13 +195,8 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 		if cycle >= channelFreeAt {
 			for k := 0; k < cfg.WorkItems; k++ {
 				ls := lanes[(rr+k)%cfg.WorkItems]
-				if ls.pending && cycle >= ls.readyAt {
-					ls.pending = false
-					ls.drainPayload = ls.pendingPayload
-					ls.pendingPayload = 0
-					ls.drainEnd = cycle + burstCost
-					ls.grantCycle = cycle
-					ls.readyAt = ls.drainEnd + turnaround
+				if ls.buf.wantsGrant(cycle) {
+					ls.buf.grant(cycle, burstCost, turnaround)
 					channelFreeAt = cycle + burstCost
 					res.Bursts++
 					cBursts.Add(1)
@@ -219,26 +211,20 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 		}
 
 		for _, ls := range lanes {
-			// 2. Burst completion: account the transferred payload.
-			if ls.drainEnd != 0 && cycle == ls.drainEnd {
-				transferred += int64(ls.drainPayload)
-				memTr.SpanL(telemetry.EvMemBurst, ls.label, ls.grantCycle, cycle, int64(ls.drainPayload))
-				ls.drainPayload = 0
-				ls.drainEnd = 0
+			// 2. Burst completion: account the transferred payload with a
+			// single bulk increment per burst.
+			if payload, done := ls.buf.complete(cycle); done {
+				transferred += int64(payload)
+				cValues.Add(int64(payload))
+				memTr.SpanL(telemetry.EvMemBurst, ls.label, ls.buf.grantCycle, cycle, int64(payload))
 			}
 
 			// 3. Transfer engine: move one value per cycle from the FIFO
-			// into the fill buffer (the TLOOP body at II=1); when a burst
-			// completes filling, hand it to the channel side — unless the
-			// previous burst is still pending (double buffering saturated).
-			if ls.fifo > 0 && ls.fill < cfg.BurstRNs && !ls.pending {
+			// into the fill buffer (the TLOOP body at II=1); a saturated
+			// double buffer refuses the value and back-pressures the FIFO.
+			if ls.fifo > 0 && ls.buf.canAccept() {
 				ls.fifo--
-				ls.fill++
-				if ls.fill == cfg.BurstRNs {
-					ls.pendingPayload = ls.fill
-					ls.fill = 0
-					ls.pending = true
-				}
+				ls.buf.push()
 			}
 
 			// 4. Generator pipeline (II=1): step unless the FIFO is full
@@ -276,10 +262,8 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 		// still go out (padded to whole 512-bit beats by the hardware;
 		// only the real payload counts toward completion).
 		for _, ls := range lanes {
-			if ls.produced == cfg.Quota && ls.fifo == 0 && ls.fill > 0 && !ls.pending && ls.drainEnd == 0 {
-				ls.pendingPayload = ls.fill
-				ls.fill = 0
-				ls.pending = true
+			if ls.produced == cfg.Quota && ls.fifo == 0 {
+				ls.buf.flushTail()
 			}
 		}
 

@@ -35,6 +35,14 @@ var ErrStreamClosed = errors.New("hls: stream closed")
 // simulations use, and records high-water occupancy so tests can verify
 // the interleaving claims of Fig. 3.
 //
+// Transport granularity: Write/Read move one value per operation (the
+// per-cycle handshake of Listing 1); WriteBurst/ReadBurst move slices
+// through the same FIFO in chunked copies, amortizing synchronization
+// over whole 512-bit-word batches. The two APIs share one FIFO, so
+// mixing them preserves order, and the value sequence a consumer
+// observes is identical either way (the engine's batched-vs-per-value
+// equivalence test pins this).
+//
 // Close/drain contract (the dataflow shutdown protocol): the producer —
 // and only the producer — calls Close when it will write no more
 // values, including on its error paths (typically via defer). The
@@ -44,15 +52,29 @@ var ErrStreamClosed = errors.New("hls: stream closed")
 // consumer blocked forever, which Dataflow cannot detect; the close
 // obligation is therefore part of the producer's contract, not an
 // optimization. See TestStreamCloseDrainDeterministic.
+//
+// A Write racing a Close is a contract violation (only the producer may
+// close), but it must fail loudly, not corrupt the FIFO: every enqueue
+// happens under the same lock that Close takes, so a racing Write either
+// completes before the close or panics with an error wrapping
+// ErrStreamClosed — never a raw runtime panic. See
+// TestStreamWriteCloseRaceStress.
 type Stream[T any] struct {
-	ch     chan T
-	name   string
-	mu     sync.Mutex
-	closed bool
+	name string
+
+	mu       sync.Mutex
+	notFull  sync.Cond // producer waits: FIFO at capacity
+	notEmpty sync.Cond // consumer waits: FIFO empty, not closed
+	buf      []T       // ring storage; len(buf) == depth
+	head     int       // index of the oldest value
+	count    int       // live values in the ring
+	closed   bool
+
 	// probe is the optional telemetry hook; set once via Instrument
 	// before the stream is shared between goroutines, nil when tracing
 	// is off (the fast paths below check it once per operation).
 	probe *streamProbe
+
 	// Telemetry (guarded by mu).
 	writes    uint64
 	reads     uint64
@@ -66,18 +88,24 @@ type streamProbe struct {
 	pops        *telemetry.Counter
 	pushBlockNS *telemetry.Counter
 	popBlockNS  *telemetry.Counter
+	// Burst accounting: how many values moved through the batched API
+	// and in how many burst operations — the stall report derives the
+	// realized batch size from the pair.
+	burstValues *telemetry.Counter
+	burstOps    *telemetry.Counter
 	// sampleMask thins the per-value push/pop instants: an event is
-	// emitted when count&sampleMask == 0 (block/starve spans are always
-	// emitted).
+	// emitted when count&sampleMask == 0; burst operations emit one
+	// instant per crossed sampling window (block/starve spans are
+	// always emitted).
 	sampleMask uint64
 }
 
-// Instrument attaches the stream to a recorder: push/pop counters,
-// blocked-time counters for the stall report, and EvStreamBlock /
-// EvStreamStarve spans (plus sampled push/pop instants) on a wall-clock
-// track named after the stream. Must be called before the stream is
-// shared between goroutines; a nil recorder leaves the stream
-// un-instrumented.
+// Instrument attaches the stream to a recorder: push/pop counters (bulk
+// incremented by the burst API), burst-size counters, blocked-time
+// counters for the stall report, and EvStreamBlock / EvStreamStarve
+// spans (plus sampled push/pop instants) on a wall-clock track named
+// after the stream. Must be called before the stream is shared between
+// goroutines; a nil recorder leaves the stream un-instrumented.
 func (s *Stream[T]) Instrument(rec *telemetry.Recorder) {
 	if rec == nil {
 		return
@@ -90,65 +118,176 @@ func (s *Stream[T]) Instrument(rec *telemetry.Recorder) {
 			fmt.Sprintf("hls::stream %q producer blocked (FIFO full)", s.name)),
 		popBlockNS: rec.Counter("stream."+s.name+".pop-block", "ns",
 			fmt.Sprintf("hls::stream %q consumer starved (FIFO empty)", s.name)),
-		sampleMask: 255,
+		burstValues: rec.Counter("stream."+s.name+".burst-values", "values", ""),
+		burstOps:    rec.Counter("stream."+s.name+".burst-ops", "events", ""),
+		sampleMask:  255,
 	}
 }
 
 // NewStream creates a stream with the given FIFO depth (≥1) and a
-// diagnostic name.
+// diagnostic name. Depths below 1 are clamped to 1 (configuration
+// layers reject negative depths before they reach here; see
+// core.Config.StreamDepth).
 func NewStream[T any](name string, depth int) *Stream[T] {
 	if depth < 1 {
 		depth = 1
 	}
-	return &Stream[T]{ch: make(chan T, depth), name: name}
+	s := &Stream[T]{buf: make([]T, depth), name: name}
+	s.notFull.L = &s.mu
+	s.notEmpty.L = &s.mu
+	return s
 }
 
 // Name returns the diagnostic name.
 func (s *Stream[T]) Name() string { return s.name }
 
 // Depth returns the FIFO capacity.
-func (s *Stream[T]) Depth() int { return cap(s.ch) }
+func (s *Stream[T]) Depth() int { return len(s.buf) }
 
-// Write blocks until there is space, then enqueues v. Writing to a
-// closed stream panics with ErrStreamClosed (a design error, as in HLS).
-func (s *Stream[T]) Write(v T) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		panic(fmt.Errorf("%w: write on closed stream %q", ErrStreamClosed, s.name))
-	}
+// enqueue appends v to the ring. Caller holds mu and guarantees space.
+func (s *Stream[T]) enqueue(v T) {
+	s.buf[(s.head+s.count)%len(s.buf)] = v
+	s.count++
 	s.writes++
-	n := s.writes
-	s.mu.Unlock()
-	if p := s.probe; p != nil {
-		s.writeProbed(v, p, n)
-	} else {
-		s.ch <- v
+	if s.count > s.highWater {
+		s.highWater = s.count
 	}
-	s.mu.Lock()
-	if n := len(s.ch); n > s.highWater {
-		s.highWater = n
-	}
-	s.mu.Unlock()
 }
 
-// writeProbed is the instrumented enqueue: it detects backpressure with
-// a non-blocking attempt first, so the EvStreamBlock span covers only
-// genuinely blocked time.
-func (s *Stream[T]) writeProbed(v T, p *streamProbe, n uint64) {
-	p.pushes.Add(1)
-	select {
-	case s.ch <- v:
-	default:
-		start := time.Now()
-		s.ch <- v
+// dequeue removes the oldest value. Caller holds mu and guarantees count>0.
+func (s *Stream[T]) dequeue() T {
+	v := s.buf[s.head]
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	s.reads++
+	return v
+}
+
+// closedPanic panics with the documented write-after-close error.
+// Caller must NOT hold mu.
+func (s *Stream[T]) closedPanic() {
+	panic(fmt.Errorf("%w: write on closed stream %q", ErrStreamClosed, s.name))
+}
+
+// waitNotFull blocks until there is space or the stream is closed,
+// accumulating blocked time on the probe. Caller holds mu.
+func (s *Stream[T]) waitNotFull(p *streamProbe) {
+	if s.count < len(s.buf) || s.closed {
+		return
+	}
+	var start time.Time
+	if p != nil {
+		start = time.Now()
+	}
+	for s.count == len(s.buf) && !s.closed {
+		s.notFull.Wait()
+	}
+	if p != nil {
 		blocked := time.Since(start)
 		end := p.tr.Now()
-		p.tr.Span(telemetry.EvStreamBlock, end-blocked.Microseconds(), end, int64(len(s.ch)))
+		p.tr.Span(telemetry.EvStreamBlock, end-blocked.Microseconds(), end, int64(s.count))
 		p.pushBlockNS.Add(blocked.Nanoseconds())
 	}
-	if n&p.sampleMask == 0 {
-		p.tr.Instant(telemetry.EvStreamPush, p.tr.Now(), int64(n))
+}
+
+// waitNotEmpty blocks until a value is available or the stream is
+// closed, accumulating starved time on the probe. Caller holds mu.
+func (s *Stream[T]) waitNotEmpty(p *streamProbe) {
+	if s.count > 0 || s.closed {
+		return
+	}
+	var start time.Time
+	if p != nil {
+		start = time.Now()
+	}
+	for s.count == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if p != nil {
+		starved := time.Since(start)
+		end := p.tr.Now()
+		p.tr.Span(telemetry.EvStreamStarve, end-starved.Microseconds(), end, 0)
+		p.popBlockNS.Add(starved.Nanoseconds())
+	}
+}
+
+// Write blocks until there is space, then enqueues v. Writing to a
+// closed stream panics with an error wrapping ErrStreamClosed (a design
+// error, as in HLS) — including when the close lands while the write is
+// blocked on a full FIFO.
+func (s *Stream[T]) Write(v T) {
+	p := s.probe
+	s.mu.Lock()
+	s.waitNotFull(p)
+	if s.closed {
+		s.mu.Unlock()
+		s.closedPanic()
+	}
+	s.enqueue(v)
+	n := s.writes
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+	if p != nil {
+		p.pushes.Add(1)
+		if n&p.sampleMask == 0 {
+			p.tr.Instant(telemetry.EvStreamPush, p.tr.Now(), int64(n))
+		}
+	}
+}
+
+// WriteBurst enqueues every value of vs in order, blocking as needed.
+// The transfer is chunked: each chunk is one copy into the ring under a
+// single lock acquisition, so a burst costs O(len/chunk) synchronization
+// operations instead of O(len). The values are copied — the caller may
+// reuse vs immediately. Bursts larger than the FIFO depth are legal and
+// drain incrementally against the consumer.
+//
+// Like Write, a WriteBurst on a closed stream — or one interrupted by a
+// close mid-burst — panics with an error wrapping ErrStreamClosed;
+// values enqueued before the close remain readable by the consumer.
+func (s *Stream[T]) WriteBurst(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	p := s.probe
+	s.mu.Lock()
+	before := s.writes
+	written := 0
+	for written < len(vs) {
+		s.waitNotFull(p)
+		if s.closed {
+			s.mu.Unlock()
+			s.closedPanic()
+		}
+		n := len(s.buf) - s.count
+		if rem := len(vs) - written; n > rem {
+			n = rem
+		}
+		// Two-segment ring copy: tail..end, then wraparound.
+		tail := (s.head + s.count) % len(s.buf)
+		c := copy(s.buf[tail:], vs[written:written+n])
+		if c < n {
+			copy(s.buf, vs[written+c:written+n])
+		}
+		s.count += n
+		s.writes += uint64(n)
+		written += n
+		if s.count > s.highWater {
+			s.highWater = s.count
+		}
+		s.notEmpty.Signal()
+	}
+	after := s.writes
+	s.mu.Unlock()
+	if p != nil {
+		p.pushes.Add(int64(len(vs)))
+		p.burstValues.Add(int64(len(vs)))
+		p.burstOps.Add(1)
+		// One sampled instant per crossed sampling window, so burst and
+		// per-value transports produce comparable trace densities.
+		if win := p.sampleMask + 1; after/win != before/win {
+			p.tr.Instant(telemetry.EvStreamPush, p.tr.Now(), int64(after))
+		}
 	}
 }
 
@@ -158,45 +297,76 @@ func (s *Stream[T]) writeProbed(v T, p *streamProbe, n uint64) {
 // Check with errors.Is; the failure is the consumer's deterministic
 // end-of-stream signal.
 func (s *Stream[T]) Read() (T, error) {
-	var v T
-	var ok bool
-	if p := s.probe; p != nil {
-		v, ok = s.readProbed(p)
-	} else {
-		v, ok = <-s.ch
-	}
-	if !ok {
+	p := s.probe
+	s.mu.Lock()
+	s.waitNotEmpty(p)
+	if s.count == 0 { // closed and drained
+		s.mu.Unlock()
 		var zero T
 		return zero, fmt.Errorf("%w: read on drained stream %q", ErrStreamClosed, s.name)
 	}
-	s.mu.Lock()
-	s.reads++
+	v := s.dequeue()
+	n := s.reads
+	s.notFull.Signal()
 	s.mu.Unlock()
+	if p != nil {
+		p.pops.Add(1)
+		if n&p.sampleMask == 0 {
+			p.tr.Instant(telemetry.EvStreamPop, p.tr.Now(), int64(n))
+		}
+	}
 	return v, nil
 }
 
-// readProbed is the instrumented dequeue, mirroring writeProbed: the
-// EvStreamStarve span covers only time spent waiting on an empty FIFO.
-func (s *Stream[T]) readProbed(p *streamProbe) (T, bool) {
-	var v T
-	var ok bool
-	select {
-	case v, ok = <-s.ch:
-	default:
-		start := time.Now()
-		v, ok = <-s.ch
-		starved := time.Since(start)
-		end := p.tr.Now()
-		p.tr.Span(telemetry.EvStreamStarve, end-starved.Microseconds(), end, 0)
-		p.popBlockNS.Add(starved.Nanoseconds())
+// ReadBurst fills dst from the FIFO in order, blocking until either dst
+// is full or the stream is closed and drained. It returns the number of
+// values read; n < len(dst) happens only on a closed-and-drained
+// stream. When the stream closes before any value could be read, it
+// returns (0, err) with err wrapping ErrStreamClosed — the batched
+// equivalent of Read's end-of-stream signal. Like WriteBurst, each
+// chunk moves under one lock acquisition.
+func (s *Stream[T]) ReadBurst(dst []T) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
 	}
-	if ok {
-		p.pops.Add(1)
-		if n := p.pops.Value(); uint64(n)&p.sampleMask == 0 {
-			p.tr.Instant(telemetry.EvStreamPop, p.tr.Now(), n)
+	p := s.probe
+	s.mu.Lock()
+	before := s.reads
+	read := 0
+	for read < len(dst) {
+		s.waitNotEmpty(p)
+		if s.count == 0 { // closed and drained
+			break
+		}
+		n := s.count
+		if rem := len(dst) - read; n > rem {
+			n = rem
+		}
+		// Two-segment ring copy: head..end, then wraparound.
+		c := copy(dst[read:read+n], s.buf[s.head:])
+		if c < n {
+			copy(dst[read+c:read+n], s.buf)
+		}
+		s.head = (s.head + n) % len(s.buf)
+		s.count -= n
+		s.reads += uint64(n)
+		read += n
+		s.notFull.Signal()
+	}
+	after := s.reads
+	s.mu.Unlock()
+	if p != nil && read > 0 {
+		p.pops.Add(int64(read))
+		p.burstValues.Add(int64(read))
+		p.burstOps.Add(1)
+		if win := p.sampleMask + 1; after/win != before/win {
+			p.tr.Instant(telemetry.EvStreamPop, p.tr.Now(), int64(after))
 		}
 	}
-	return v, ok
+	if read == 0 {
+		return 0, fmt.Errorf("%w: read on drained stream %q", ErrStreamClosed, s.name)
+	}
+	return read, nil
 }
 
 // MustRead is Read for contexts where closure is a programming error.
@@ -211,38 +381,39 @@ func (s *Stream[T]) MustRead() T {
 // TryRead returns a value if one is immediately available. A false
 // result means either "momentarily empty" or "closed and drained"; a
 // consumer polling with TryRead distinguishes the two with Closed()
-// (closed-and-empty will never become readable again).
+// (closed-and-empty will never become readable again). A closed stream
+// still holding buffered values keeps yielding them.
 func (s *Stream[T]) TryRead() (T, bool) {
-	select {
-	case v, ok := <-s.ch:
-		if !ok {
-			var zero T
-			return zero, false
-		}
-		s.mu.Lock()
-		s.reads++
+	p := s.probe
+	s.mu.Lock()
+	if s.count == 0 {
 		s.mu.Unlock()
-		if p := s.probe; p != nil {
-			p.pops.Add(1)
-		}
-		return v, true
-	default:
 		var zero T
 		return zero, false
 	}
+	v := s.dequeue()
+	s.notFull.Signal()
+	s.mu.Unlock()
+	if p != nil {
+		p.pops.Add(1)
+	}
+	return v, true
 }
 
 // Close marks the producer side finished; the consumer can drain the
 // remaining values, after which Read fails with ErrStreamClosed instead
 // of blocking. Closing twice is a no-op. Producers must Close on every
 // exit path (use defer), or the consumer side of the dataflow network
-// deadlocks waiting for data that will never arrive.
+// deadlocks waiting for data that will never arrive. Close wakes every
+// blocked Read (which drains or fails) and every blocked Write (which
+// panics with ErrStreamClosed — see the race note on Stream).
 func (s *Stream[T]) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.closed {
 		s.closed = true
-		close(s.ch)
+		s.notEmpty.Broadcast()
+		s.notFull.Broadcast()
 	}
 }
 
@@ -255,7 +426,24 @@ func (s *Stream[T]) Closed() bool {
 }
 
 // Len returns the current FIFO occupancy.
-func (s *Stream[T]) Len() int { return len(s.ch) }
+func (s *Stream[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Empty reports whether the FIFO holds no values — hls::stream::empty.
+func (s *Stream[T]) Empty() bool { return s.Len() == 0 }
+
+// Full reports whether the FIFO is at capacity — hls::stream::full. A
+// closed stream still reports Full while its buffered values await the
+// consumer; it can never refill, so Full goes false permanently once
+// the consumer drains below capacity.
+func (s *Stream[T]) Full() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count == len(s.buf)
+}
 
 // Stats returns (writes, reads, high-water occupancy).
 func (s *Stream[T]) Stats() (writes, reads uint64, highWater int) {

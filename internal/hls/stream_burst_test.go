@@ -1,0 +1,338 @@
+package hls
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/decwi/decwi/internal/telemetry"
+)
+
+// TestStreamBurstFIFOOrder: WriteBurst/ReadBurst preserve FIFO order
+// across chunk boundaries, including bursts larger than the FIFO depth
+// and ragged batch sizes that force ring wraparound.
+func TestStreamBurstFIFOOrder(t *testing.T) {
+	const total = 10_000
+	for _, depth := range []int{1, 3, 16, 64} {
+		for _, batch := range []int{1, 5, 16, 100} {
+			s := NewStream[int]("burst", depth)
+			go func() {
+				defer s.Close()
+				buf := make([]int, 0, batch)
+				for i := 0; i < total; i++ {
+					buf = append(buf, i)
+					if len(buf) == batch {
+						s.WriteBurst(buf)
+						buf = buf[:0]
+					}
+				}
+				s.WriteBurst(buf) // ragged tail
+			}()
+			var got []int
+			dst := make([]int, 7) // co-prime with batch sizes → wraparound
+			for {
+				n, err := s.ReadBurst(dst)
+				if err != nil {
+					if !errors.Is(err, ErrStreamClosed) {
+						t.Fatalf("depth=%d batch=%d: %v", depth, batch, err)
+					}
+					break
+				}
+				got = append(got, dst[:n]...)
+			}
+			if len(got) != total {
+				t.Fatalf("depth=%d batch=%d: drained %d of %d", depth, batch, len(got), total)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("depth=%d batch=%d: got[%d]=%d (order violated)", depth, batch, i, v)
+				}
+			}
+			w, r, _ := s.Stats()
+			if w != total || r != total {
+				t.Fatalf("stats writes=%d reads=%d want %d", w, r, total)
+			}
+		}
+	}
+}
+
+// TestStreamBurstMixedWithPerValue: the burst and per-value APIs share
+// one FIFO; interleaving them preserves order.
+func TestStreamBurstMixedWithPerValue(t *testing.T) {
+	s := NewStream[int]("mix", 8)
+	go func() {
+		defer s.Close()
+		s.Write(0)
+		s.WriteBurst([]int{1, 2, 3})
+		s.Write(4)
+		s.WriteBurst([]int{5, 6, 7, 8, 9})
+	}()
+	for i := 0; i < 3; i++ {
+		if v := s.MustRead(); v != i {
+			t.Fatalf("per-value read %d got %d", i, v)
+		}
+	}
+	dst := make([]int, 7)
+	n, err := s.ReadBurst(dst)
+	if err != nil || n != 7 {
+		t.Fatalf("ReadBurst n=%d err=%v", n, err)
+	}
+	for i, v := range dst {
+		if v != i+3 {
+			t.Fatalf("dst[%d]=%d want %d", i, v, i+3)
+		}
+	}
+	if _, err := s.ReadBurst(dst); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("drained ReadBurst err=%v, want ErrStreamClosed", err)
+	}
+}
+
+// TestStreamReadBurstShortOnClose: a close mid-stream makes ReadBurst
+// return the values it got (n < len(dst), nil error), then fail with
+// ErrStreamClosed once drained.
+func TestStreamReadBurstShortOnClose(t *testing.T) {
+	s := NewStream[int]("short", 16)
+	s.WriteBurst([]int{1, 2, 3})
+	s.Close()
+	dst := make([]int, 8)
+	n, err := s.ReadBurst(dst)
+	if err != nil || n != 3 {
+		t.Fatalf("short read n=%d err=%v, want 3, nil", n, err)
+	}
+	if n, err := s.ReadBurst(dst); n != 0 || !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("drained burst read n=%d err=%v", n, err)
+	}
+	// Zero-length destination is a no-op even on a drained stream.
+	if n, err := s.ReadBurst(nil); n != 0 || err != nil {
+		t.Fatalf("nil dst n=%d err=%v", n, err)
+	}
+}
+
+// TestStreamWriteBurstAfterClosePanics: the batched write path honours
+// the same write-after-close design-error panic as Write.
+func TestStreamWriteBurstAfterClosePanics(t *testing.T) {
+	s := NewStream[int]("wbc", 4)
+	s.Close()
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrStreamClosed) {
+			t.Fatalf("WriteBurst-after-close panic = %v, want error wrapping ErrStreamClosed", r)
+		}
+	}()
+	s.WriteBurst([]int{1, 2})
+}
+
+// TestStreamProbesAfterCloseWithPartialBurst pins the probe semantics
+// the polling consumers rely on: after Close with a partially filled
+// FIFO, Full/Empty/TryRead keep reporting the buffered values until the
+// drain, and only then flip to the terminal closed-and-empty state.
+func TestStreamProbesAfterCloseWithPartialBurst(t *testing.T) {
+	s := NewStream[int]("probe", 8)
+	s.WriteBurst([]int{10, 11, 12}) // partial burst: 3 of 8
+	s.Close()
+
+	if s.Full() {
+		t.Fatal("Full() = true with 3 of 8 slots used")
+	}
+	if s.Empty() {
+		t.Fatal("Empty() = true while the FIFO still holds a partial burst")
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len() = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := s.TryRead()
+		if !ok || v != 10+i {
+			t.Fatalf("TryRead %d = (%d, %v), want (%d, true)", i, v, ok, 10+i)
+		}
+	}
+	if _, ok := s.TryRead(); ok {
+		t.Fatal("TryRead on closed-and-drained stream returned true")
+	}
+	if !s.Empty() || s.Full() {
+		t.Fatalf("drained probes: Empty=%v Full=%v, want true/false", s.Empty(), s.Full())
+	}
+}
+
+// TestStreamFullProbe: a full FIFO reports Full until the consumer
+// makes space, including across a Close.
+func TestStreamFullProbe(t *testing.T) {
+	s := NewStream[int]("full", 2)
+	if s.Full() {
+		t.Fatal("Full() on empty stream")
+	}
+	s.WriteBurst([]int{1, 2})
+	if !s.Full() {
+		t.Fatal("Full() = false at capacity")
+	}
+	s.Close()
+	if !s.Full() {
+		t.Fatal("Full() must keep reporting buffered capacity after Close")
+	}
+	s.MustRead()
+	if s.Full() {
+		t.Fatal("Full() after drain below capacity")
+	}
+}
+
+// TestStreamWriteCloseRaceStress is the regression test for the
+// write/close race window: a Close landing while the producer is
+// writing must surface as the documented ErrStreamClosed panic (or let
+// the write complete), never as a raw "send on closed channel" runtime
+// panic or a torn FIFO. Run under -race via the tier-1 gate.
+func TestStreamWriteCloseRaceStress(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		s := NewStream[int]("race", 4)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		start := make(chan struct{})
+
+		// Producer: per-value and burst writes; a panic must wrap
+		// ErrStreamClosed.
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, ErrStreamClosed) {
+						t.Errorf("producer panic = %v, want error wrapping ErrStreamClosed", r)
+					}
+				}
+			}()
+			<-start
+			for i := 0; ; i++ {
+				if i%2 == 0 {
+					s.Write(i)
+				} else {
+					s.WriteBurst([]int{i, i + 1, i + 2})
+				}
+			}
+		}()
+
+		// Consumer: drains until the deterministic end-of-stream error.
+		go func() {
+			defer wg.Done()
+			<-start
+			dst := make([]int, 3)
+			for {
+				if _, err := s.ReadBurst(dst); err != nil {
+					if !errors.Is(err, ErrStreamClosed) {
+						t.Errorf("consumer error %v, want ErrStreamClosed", err)
+					}
+					return
+				}
+			}
+		}()
+
+		// Racing closer (deliberate contract violation: not the producer).
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Close()
+		}()
+
+		close(start)
+		wg.Wait()
+	}
+}
+
+// TestStreamBurstTelemetryBulkCounters: the batched path bulk-increments
+// the same push/pop counters the per-value path maintains, plus the
+// burst-size accounting pair, and never desynchronizes from Stats.
+func TestStreamBurstTelemetryBulkCounters(t *testing.T) {
+	rec := telemetry.New(1 << 10)
+	s := NewStream[float32]("tb", 32)
+	s.Instrument(rec)
+
+	const total = 1000
+	go func() {
+		defer s.Close()
+		buf := make([]float32, 16)
+		for i := 0; i < total/16; i++ {
+			for j := range buf {
+				buf[j] = float32(i*16 + j)
+			}
+			s.WriteBurst(buf)
+		}
+		for i := total - total%16; i < total; i++ {
+			s.Write(float32(i)) // per-value tail on the same stream
+		}
+	}()
+	dst := make([]float32, 16)
+	var n int
+	for {
+		m, err := s.ReadBurst(dst)
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	if n != total {
+		t.Fatalf("drained %d of %d", n, total)
+	}
+
+	byName := map[string]int64{}
+	for _, c := range rec.Counters() {
+		byName[c.Name()] = c.Value()
+	}
+	if byName["stream.tb.push"] != total || byName["stream.tb.pop"] != total {
+		t.Fatalf("bulk counters push=%d pop=%d, want %d", byName["stream.tb.push"], byName["stream.tb.pop"], total)
+	}
+	if byName["stream.tb.burst-values"] == 0 || byName["stream.tb.burst-ops"] == 0 {
+		t.Fatalf("burst accounting missing: values=%d ops=%d", byName["stream.tb.burst-values"], byName["stream.tb.burst-ops"])
+	}
+	w, r, _ := s.Stats()
+	if int64(w) != total || int64(r) != total {
+		t.Fatalf("Stats writes=%d reads=%d", w, r)
+	}
+}
+
+// BenchmarkBatchedStream is the transport-level proof of the burst win:
+// the same number of float32 values moved per-value versus in
+// WordRNs-sized (16) and 4-word (64) batches through a depth-64 stream.
+func BenchmarkBatchedStream(b *testing.B) {
+	const depth = 64
+	run := func(b *testing.B, batch int) {
+		b.Helper()
+		s := NewStream[float32]("bench", depth)
+		go func() {
+			defer s.Close()
+			if batch == 1 {
+				for i := 0; i < b.N; i++ {
+					s.Write(float32(i))
+				}
+				return
+			}
+			buf := make([]float32, batch)
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				s.WriteBurst(buf[:n])
+			}
+		}()
+		if batch == 1 {
+			for {
+				if _, err := s.Read(); err != nil {
+					break
+				}
+			}
+		} else {
+			dst := make([]float32, batch)
+			for {
+				if _, err := s.ReadBurst(dst); err != nil {
+					break
+				}
+			}
+		}
+		b.SetBytes(4)
+	}
+	b.Run("per-value", func(b *testing.B) { run(b, 1) })
+	b.Run("burst16", func(b *testing.B) { run(b, 16) })
+	b.Run("burst64", func(b *testing.B) { run(b, 64) })
+}

@@ -1,6 +1,7 @@
 package opencl
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -68,8 +69,7 @@ func (b *Buffer) Float32At(i int64) (float32, error) {
 	if i < 0 || i*4+4 > b.Size() {
 		return 0, fmt.Errorf("opencl: float32 index %d outside buffer %q", i, b.name)
 	}
-	bits := uint32(b.data[i*4]) | uint32(b.data[i*4+1])<<8 | uint32(b.data[i*4+2])<<16 | uint32(b.data[i*4+3])<<24
-	return math.Float32frombits(bits), nil
+	return math.Float32frombits(binary.LittleEndian.Uint32(b.data[i*4:])), nil
 }
 
 // SetFloat32 writes element i.
@@ -77,40 +77,34 @@ func (b *Buffer) SetFloat32(i int64, v float32) error {
 	if i < 0 || i*4+4 > b.Size() {
 		return fmt.Errorf("opencl: float32 index %d outside buffer %q", i, b.name)
 	}
-	bits := math.Float32bits(v)
-	b.data[i*4] = byte(bits)
-	b.data[i*4+1] = byte(bits >> 8)
-	b.data[i*4+2] = byte(bits >> 16)
-	b.data[i*4+3] = byte(bits >> 24)
+	binary.LittleEndian.PutUint32(b.data[i*4:], math.Float32bits(v))
 	return nil
 }
 
 // WriteFloat32s bulk-writes a float32 slice starting at element offset —
-// the device-side store path used by kernel closures.
+// the device-side store path used by kernel closures. The encode runs
+// word-at-a-time (single 32-bit store per element) over a re-sliced
+// window, so the whole batch moves with one bounds check up front.
 func (b *Buffer) WriteFloat32s(offset int64, vs []float32) error {
 	if offset < 0 || (offset+int64(len(vs)))*4 > b.Size() {
 		return fmt.Errorf("opencl: write of %d floats at %d outside buffer %q", len(vs), offset, b.name)
 	}
+	out := b.data[offset*4 : (offset+int64(len(vs)))*4]
 	for i, v := range vs {
-		bits := math.Float32bits(v)
-		j := (offset + int64(i)) * 4
-		b.data[j] = byte(bits)
-		b.data[j+1] = byte(bits >> 8)
-		b.data[j+2] = byte(bits >> 16)
-		b.data[j+3] = byte(bits >> 24)
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
 	}
 	return nil
 }
 
-// ReadFloat32s bulk-reads into dst from element offset.
+// ReadFloat32s bulk-reads into dst from element offset, word-at-a-time
+// over a re-sliced window (the mirror of WriteFloat32s).
 func (b *Buffer) ReadFloat32s(offset int64, dst []float32) error {
 	if offset < 0 || (offset+int64(len(dst)))*4 > b.Size() {
 		return fmt.Errorf("opencl: read of %d floats at %d outside buffer %q", len(dst), offset, b.name)
 	}
+	in := b.data[offset*4 : (offset+int64(len(dst)))*4]
 	for i := range dst {
-		j := (offset + int64(i)) * 4
-		bits := uint32(b.data[j]) | uint32(b.data[j+1])<<8 | uint32(b.data[j+2])<<16 | uint32(b.data[j+3])<<24
-		dst[i] = math.Float32frombits(bits)
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(in[i*4:]))
 	}
 	return nil
 }

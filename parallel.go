@@ -1,0 +1,173 @@
+package decwi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/decwi/decwi/internal/core"
+	"github.com/decwi/decwi/internal/rng"
+)
+
+// ParallelOptions parameterizes GenerateParallel: the GenerateOptions
+// workload plus sharding controls.
+type ParallelOptions struct {
+	GenerateOptions
+	// Shards is the number of independent engine shards the scenario
+	// axis is split into; each shard runs the configuration's full
+	// decoupled work-item pipeline over its scenario slice with its own
+	// split seed. 0 selects GOMAXPROCS. Clamped to Scenarios.
+	Shards int
+	// Workers caps how many shards execute concurrently (a worker pool,
+	// not one goroutine per shard). 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// ParallelResult is the sharded counterpart of GenerateResult.
+type ParallelResult struct {
+	// Values holds Scenarios·Sectors gamma variates in shard-major
+	// layout: shard s occupies Values[ShardOffsets[s]:ShardOffsets[s+1]]
+	// in that shard's device layout (per-work-item blocks).
+	Values []float32
+	// ShardOffsets has Shards+1 entries framing each shard's block.
+	ShardOffsets []int64
+	// Shards is the number of engine shards actually used.
+	Shards int
+	// WorkItems is the number of decoupled pipelines per shard.
+	WorkItems int
+	// RejectionRate is the scenario-weighted combined rate over shards.
+	RejectionRate float64
+}
+
+// Shard returns shard s's block of Values.
+func (r *ParallelResult) Shard(s int) []float32 {
+	return r.Values[r.ShardOffsets[s]:r.ShardOffsets[s+1]]
+}
+
+// GenerateParallel runs configuration c as a pool of independent engine
+// shards, one host call saturating every simulated pipeline: the
+// scenario axis is split across Shards engines (each with the full
+// WorkItems decoupled pipelines and batched stream transport), executed
+// by a bounded worker pool.
+//
+// Output is deterministic for a given (Seed, Shards) pair regardless of
+// Workers and of goroutine scheduling: shard seeds come from
+// rng.StreamSeeds (SplitMix64 outputs, the same split discipline the
+// engine applies per work-item), and every shard writes only its own
+// pre-computed block. Sharded output is NOT the same value sequence as
+// Generate with identical options — each shard is an independent seeded
+// run — but it passes the same distributional validation.
+func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) {
+	k, err := c.kernel()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("decwi: shards %d must be ≥ 0 (0 selects GOMAXPROCS)", opt.Shards)
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("decwi: workers %d must be ≥ 0 (0 selects GOMAXPROCS)", opt.Workers)
+	}
+	if opt.Scenarios < 1 {
+		return nil, fmt.Errorf("decwi: scenarios %d must be ≥ 1", opt.Scenarios)
+	}
+	if opt.Shards == 0 {
+		opt.Shards = runtime.GOMAXPROCS(0)
+	}
+	if int64(opt.Shards) > opt.Scenarios {
+		opt.Shards = int(opt.Scenarios)
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Workers > opt.Shards {
+		opt.Workers = opt.Shards
+	}
+	if opt.Variance == 0 && opt.Variances == nil {
+		opt.Variance = 1.39
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	wi := opt.WorkItems
+	if wi == 0 {
+		wi = k.FPGAWorkItems
+	}
+
+	// Scenario split mirrors the engine's own work-item split: the
+	// remainder spreads over the leading shards.
+	counts := make([]int64, opt.Shards)
+	offsets := make([]int64, opt.Shards+1)
+	per := opt.Scenarios / int64(opt.Shards)
+	rem := opt.Scenarios % int64(opt.Shards)
+	for s := range counts {
+		counts[s] = per
+		if int64(s) < rem {
+			counts[s]++
+		}
+		offsets[s+1] = offsets[s] + counts[s]*int64(opt.Sectors)
+	}
+	seeds := rng.StreamSeeds(opt.Seed, opt.Shards)
+
+	values := make([]float32, offsets[opt.Shards])
+	type shardOut struct {
+		rate   float64
+		weight int64
+		err    error
+	}
+	outs := make([]shardOut, opt.Shards)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				eng, err := core.NewEngine(core.Config{
+					Transform:         k.Transform,
+					MTParams:          k.MTParams,
+					WorkItems:         wi,
+					Scenarios:         counts[s],
+					Sectors:           opt.Sectors,
+					SectorVariance:    opt.Variance,
+					SectorVariances:   opt.Variances,
+					BurstRNs:          opt.BurstRNs,
+					Seed:              seeds[s],
+					PerValueTransport: opt.PerValueTransport,
+				})
+				if err != nil {
+					outs[s].err = err
+					continue
+				}
+				run, err := eng.Run()
+				if err != nil {
+					outs[s].err = err
+					continue
+				}
+				copy(values[offsets[s]:offsets[s+1]], run.Data)
+				outs[s] = shardOut{rate: run.CombinedRejectionRate(), weight: counts[s]}
+			}
+		}()
+	}
+	for s := 0; s < opt.Shards; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	var rate float64
+	for s, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("decwi: shard %d: %w", s, o.err)
+		}
+		rate += o.rate * float64(o.weight)
+	}
+	return &ParallelResult{
+		Values:        values,
+		ShardOffsets:  offsets,
+		Shards:        opt.Shards,
+		WorkItems:     wi,
+		RejectionRate: rate / float64(opt.Scenarios),
+	}, nil
+}

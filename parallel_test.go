@@ -1,0 +1,160 @@
+package decwi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateParallelDeterministicAcrossWorkers: the (Seed, Shards)
+// pair pins the output; the worker count and goroutine scheduling must
+// not leak into the values.
+func TestGenerateParallelDeterministicAcrossWorkers(t *testing.T) {
+	base := ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 300, Sectors: 2, Seed: 7, WorkItems: 2},
+		Shards:          4,
+	}
+	run := func(workers int) []float32 {
+		opt := base
+		opt.Workers = workers
+		res, err := GenerateParallel(Config2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values
+	}
+	a, b, c := run(1), run(3), run(4)
+	if len(a) != 300*2 {
+		t.Fatalf("len = %d, want %d", len(a), 300*2)
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("Values[%d] differs across worker counts: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+// TestGenerateParallelShardLayout checks the shard-major framing: the
+// offsets cover Values exactly, remainders spread over leading shards,
+// and Shard(s) views line up.
+func TestGenerateParallelShardLayout(t *testing.T) {
+	res, err := GenerateParallel(Config4, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 101, Sectors: 3, Seed: 9, WorkItems: 2},
+		Shards:          4, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 4 || len(res.ShardOffsets) != 5 {
+		t.Fatalf("shards=%d offsets=%d", res.Shards, len(res.ShardOffsets))
+	}
+	// 101 = 26+25+25+25 scenarios, ×3 sectors.
+	want := []int64{0, 78, 153, 228, 303}
+	for i, o := range res.ShardOffsets {
+		if o != want[i] {
+			t.Fatalf("ShardOffsets = %v, want %v", res.ShardOffsets, want)
+		}
+	}
+	if int64(len(res.Values)) != want[4] {
+		t.Fatalf("len(Values) = %d, want %d", len(res.Values), want[4])
+	}
+	total := 0
+	for s := 0; s < res.Shards; s++ {
+		total += len(res.Shard(s))
+	}
+	if total != len(res.Values) {
+		t.Fatalf("shard views cover %d of %d values", total, len(res.Values))
+	}
+}
+
+// TestGenerateParallelDistribution: sharded output passes the same KS
+// validation as the sequential path — independent shard seeds must not
+// distort the marginal.
+func TestGenerateParallelDistribution(t *testing.T) {
+	const variance = 1.39
+	res, err := GenerateParallel(Config1, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 4096, Sectors: 2, Variance: variance, Seed: 11, WorkItems: 2},
+		Shards:          4, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p, err := ValidateGamma(res.Values, variance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("KS p-value %g too small: sharded output not Gamma-distributed", p)
+	}
+	if res.RejectionRate <= 0 || res.RejectionRate >= 1 {
+		t.Fatalf("weighted rejection rate %g out of range", res.RejectionRate)
+	}
+}
+
+// TestGenerateParallelTransportEquivalence extends the tentpole
+// guarantee to the sharded runner: batched and per-value transport give
+// bitwise-identical sharded output.
+func TestGenerateParallelTransportEquivalence(t *testing.T) {
+	base := ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 500, Sectors: 2, Seed: 13, WorkItems: 2},
+		Shards:          3, Workers: 2,
+	}
+	run := func(perValue bool) []float32 {
+		opt := base
+		opt.PerValueTransport = perValue
+		res, err := GenerateParallel(Config3, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Values[%d]: batched %v, per-value %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGenerateParallelValidation: option errors are rejected up front
+// and shard failures carry the shard index.
+func TestGenerateParallelValidation(t *testing.T) {
+	good := ParallelOptions{GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1, WorkItems: 1}}
+	if _, err := GenerateParallel(Config1, good); err != nil {
+		t.Fatalf("good options rejected: %v", err)
+	}
+	for name, opt := range map[string]ParallelOptions{
+		"negative shards":  {GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1}, Shards: -1},
+		"negative workers": {GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1}, Workers: -2},
+		"zero scenarios":   {GenerateOptions: GenerateOptions{Sectors: 1}},
+	} {
+		if _, err := GenerateParallel(Config1, opt); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := GenerateParallel(ConfigID(99), good); err == nil {
+		t.Error("unknown config: expected error")
+	}
+	// A shard-level engine failure names the shard.
+	bad := ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 2, Variances: []float64{1, 0}, WorkItems: 1},
+		Shards:          2,
+	}
+	if _, err := GenerateParallel(Config1, bad); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Errorf("shard failure error = %v, want shard-indexed error", err)
+	}
+}
+
+// TestGenerateParallelShardsClampedToScenarios: more shards than
+// scenarios degrades gracefully instead of producing empty engines.
+func TestGenerateParallelShardsClampedToScenarios(t *testing.T) {
+	res, err := GenerateParallel(Config1, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 3, Sectors: 1, WorkItems: 1},
+		Shards:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 3 || len(res.Values) != 3 {
+		t.Fatalf("shards=%d len=%d, want 3, 3", res.Shards, len(res.Values))
+	}
+}

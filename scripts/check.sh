@@ -14,4 +14,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Benchmark smoke run: one iteration each, so the burst-transport and
+# sharded-generation benchmarks can never silently rot.
+echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel)"
+go test -run '^$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
+go test -run '^$' -bench BenchmarkGenerateParallel -benchtime 1x .
+
 echo "tier-1 gate: OK"

@@ -94,7 +94,8 @@ func (s *Session) EnqueueGamma(c ConfigID, opt GenerateOptions, hostCombine bool
 		Scenarios: opt.Scenarios, Sectors: opt.Sectors,
 		SectorVariance: opt.Variance, SectorVariances: opt.Variances,
 		BurstRNs: opt.BurstRNs, Seed: opt.Seed,
-		Telemetry: s.tel,
+		PerValueTransport: opt.PerValueTransport,
+		Telemetry:         s.tel,
 	})
 	if err != nil {
 		return nil, err
@@ -166,6 +167,12 @@ func (s *Session) EnqueueGamma(c ConfigID, opt GenerateOptions, hostCombine bool
 	if err != nil {
 		return nil, err
 	}
+	// Read-back accounting mirrors the stream-side burst counters: one
+	// bulk increment for the whole combined transfer, not one per value.
+	s.tel.Counter("session.readback-values", "values",
+		"float32 values read back from the device buffer, bulk-counted per combine").Add(total)
+	s.tel.Counter("session.readback-requests", "events",
+		"read requests issued by the combining strategy").Add(int64(combined.ReadRequests))
 	return &KernelRun{
 		Host:         host,
 		DeviceTime:   devTime,
