@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke trace clean
 
 check: vet build race bench-smoke
 
@@ -24,11 +24,18 @@ race:
 bench:
 	$(GO) test -bench BenchmarkGamma -benchtime 1x -run '^$$' .
 
-# One-iteration smoke run of the burst-transport and sharded-generation
-# benchmarks, so they can never silently rot.
+# Machine-readable throughput baseline (BENCH_3.json at the repo root):
+# engine MB/s and ns/value for Config1-4 on both compute paths, plus the
+# transport and telemetry ablations.
+bench-json:
+	sh scripts/bench_json.sh
+
+# One-iteration smoke run of the burst-transport, sharded-generation and
+# compute-path benchmarks, so they can never silently rot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
 	$(GO) test -run '^$$' -bench BenchmarkGenerateParallel -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkBlockCompute -benchtime 1x .
 
 # Smoke-test the tracing CLI (artifacts land in the working directory).
 trace:

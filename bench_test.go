@@ -389,6 +389,35 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBlockCompute is this PR's before/after ablation: the gated
+// one-word compute path (every pipeline iteration a CycleStep with
+// per-word Peek/Advance bookkeeping) versus the default block path
+// (bulk Mersenne-Twister fills + batched normal/gamma kernels). Both
+// produce bitwise-identical output; bytes/sec is the comparison axis.
+func BenchmarkBlockCompute(b *testing.B) {
+	for _, cID := range []decwi.ConfigID{decwi.Config1, decwi.Config2, decwi.Config3, decwi.Config4} {
+		cID := cID
+		for _, gated := range []bool{true, false} {
+			name := cID.String() + "/block"
+			if gated {
+				name = cID.String() + "/gated"
+			}
+			gated := gated
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := decwi.Generate(cID, decwi.GenerateOptions{
+						Scenarios: 65536, Sectors: 1, Seed: uint64(i + 1),
+						GatedCompute: gated,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(65536 * 4)
+			})
+		}
+	}
+}
+
 // BenchmarkGenerateParallel is the transport-and-sharding ablation: the
 // per-value seed transport versus the batched WordRNs transport through
 // Generate, versus the sharded GenerateParallel runner. All three move

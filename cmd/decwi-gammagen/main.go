@@ -18,6 +18,7 @@ import (
 	"os"
 
 	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/profiling"
 )
 
 func main() {
@@ -26,18 +27,30 @@ func main() {
 	variance := flag.Float64("v", 1.39, "sector variance (alpha=1/v, beta=v)")
 	workItems := flag.Int("workitems", 0, "decoupled work-items (0 = P&R default)")
 	seed := flag.Uint64("seed", 1, "master seed")
+	gated := flag.Bool("gated", false, "force the cycle-exact gated compute path (default: block path, same output)")
 	out := flag.String("out", "", "output file (default stdout)")
 	text := flag.Bool("text", false, "write one decimal value per line instead of raw float32 LE")
 	validate := flag.Bool("validate", true, "run the KS validation and report it on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*cfgNum, *n, *variance, *workItems, *seed, *out, *text, *validate); err != nil {
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*cfgNum, *n, *variance, *workItems, *seed, *gated, *out, *text, *validate)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, out string, text, validate bool) error {
+func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gated bool, out string, text, validate bool) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("config %d outside 1-4", cfgNum)
 	}
@@ -47,7 +60,7 @@ func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, out 
 	cfg := decwi.ConfigID(cfgNum)
 	res, err := decwi.Generate(cfg, decwi.GenerateOptions{
 		Scenarios: n, Sectors: 1, Variance: variance,
-		WorkItems: workItems, Seed: seed,
+		WorkItems: workItems, Seed: seed, GatedCompute: gated,
 	})
 	if err != nil {
 		return err

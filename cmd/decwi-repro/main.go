@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/profiling"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of formatted text")
 	seed := flag.Uint64("seed", 1, "master seed for the measured quantities")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	csvMode = *csvOut
 
@@ -36,9 +39,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
+		os.Exit(1)
+	}
 	run := func(name string, f func() error) {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "decwi-repro: %s: %v\n", name, err)
+			stopProfiles() // os.Exit skips defers; flush the profiles first
 			os.Exit(1)
 		}
 	}
@@ -112,6 +121,10 @@ func main() {
 	}
 	if *all || *cosim {
 		run("cosim", func() error { return printCoSim(*seed) })
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
+		os.Exit(1)
 	}
 }
 

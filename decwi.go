@@ -129,6 +129,12 @@ type GenerateOptions struct {
 	// batches. Output is bitwise-identical either way; the knob exists
 	// for the equivalence tests and the before/after benchmarks.
 	PerValueTransport bool
+	// GatedCompute forces the cycle-exact one-word compute path (gated
+	// Mersenne-Twister consumption every pipeline iteration) instead of
+	// the default bulk block-generation path. Output is bitwise-identical
+	// either way; force it when cycle-level interleaving must be
+	// observable (stall tracing, co-simulation cross-checks).
+	GatedCompute bool
 }
 
 // GenerateResult carries the generated data and its run metadata.
@@ -181,6 +187,7 @@ func Generate(c ConfigID, opt GenerateOptions) (*GenerateResult, error) {
 		BurstRNs:          opt.BurstRNs,
 		Seed:              opt.Seed,
 		PerValueTransport: opt.PerValueTransport,
+		GatedCompute:      opt.GatedCompute,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/decwi/decwi/internal/hls"
 	"github.com/decwi/decwi/internal/rng"
@@ -43,6 +44,17 @@ type Config struct {
 	// the knob exists for the equivalence tests and the before/after
 	// benchmarks, not for production use.
 	PerValueTransport bool
+	// GatedCompute forces the cycle-exact one-word compute path: every
+	// pipeline iteration is a gamma.CycleStep with gated Mersenne-Twister
+	// consumption, exactly as the Listing 2/3 hardware formulation. The
+	// default (false) selects the block compute path, which bulk-fills
+	// Mersenne-Twister words and runs batched normal/gamma kernels over
+	// chunks of blockCycles attempts, falling back to the gated loop for
+	// each sector's tail. Both paths produce bitwise-identical output
+	// (TestBlockComputeEquivalence); the gated path exists for FPGA
+	// co-simulation and cycle-level stall tracing, where per-cycle
+	// interleaving is observable.
+	GatedCompute bool
 	// BreakID is the counter delay index of Listing 2 ("here it
 	// suffices to use zero").
 	BreakID int
@@ -248,19 +260,56 @@ func (e *Engine) Run() (*RunResult, error) {
 	return res, nil
 }
 
+// blockCycles is the attempts-per-batch of the block compute path: big
+// enough to amortize the bulk Mersenne-Twister fills (several MT521
+// state blocks, a third of an MT19937 one), small enough that the
+// per-work-item scratch stays cache-resident.
+const blockCycles = 256
+
+// blockBuffers bundles one work-item's block-path scratch. The buffers
+// are pooled because engine runs spin up fresh goroutines per work-item
+// (lifetimes cross goroutines between runs); within one gammaRNG call
+// the same buffers are reused with zero allocation.
+type blockBuffers struct {
+	scratch *gamma.BlockScratch
+	out     []float32
+}
+
+var blockBuffersPool = sync.Pool{New: func() any {
+	return &blockBuffers{
+		scratch: gamma.NewBlockScratch(blockCycles),
+		out:     make([]float32, blockCycles),
+	}
+}}
+
 // gammaRNG is Listing 2: SECLOOP over sectors, each running the delayed-
 // exit MAINLOOP until limitMain validated outputs are written to the
 // stream. Validated outputs are staged in a WordRNs-sized batch and
 // moved with one WriteBurst per 512-bit word (unless PerValueTransport
 // re-selects the per-value handshake); the value sequence on the stream
 // is identical either way.
+//
+// Unless Config.GatedCompute demands the cycle-exact one-word loop, the
+// bulk of each sector runs through gamma.CycleBlock in chunks of
+// blockCycles attempts. The chunked phase only runs while the remaining
+// output quota is at least blockCycles: a chunk of n attempts yields at
+// most n outputs, so the counter cannot pass limitMain mid-chunk, and it
+// can reach the quota only exactly at a chunk boundary (every attempt
+// accepted) — in which case the quota trip index is the chunk's last
+// trip, as on the gated path. The sector tail (fewer than blockCycles
+// outputs remaining, plus the delayed-exit overshoot) reuses the
+// original gated MAINLOOP verbatim; entering it with a fresh RegDelay is
+// exact because the register's zero-initialized stages are below
+// limitMain, just as every pre-quota counter value the gated path would
+// have shifted through, so the delayed exit fires after the identical
+// number of overshoot trips.
 func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *hls.Stream[float32], stats *WorkItemStats) error {
 	defer out.Close()
 	cfg := e.cfg
 	limitMax := cfg.LimitMaxFactor*limitMain + 1024
 	// Telemetry: a cycle-domain track timestamped by the generator's own
 	// cycle counter. All handles are nil-safe no-ops when tracing is off,
-	// and everything here is per-sector or per-run — the MAINLOOP body
+	// and everything here is per-sector or per-chunk — the MAINLOOP body
 	// itself carries no instrumentation.
 	tr := cfg.Telemetry.Track(fmt.Sprintf("GammaRNG[%d]", wid), telemetry.Cycles)
 
@@ -280,15 +329,51 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 		}
 	}
 
+	var bufs *blockBuffers
+	var cFills, cWords *telemetry.Counter
+	if !cfg.GatedCompute {
+		bufs = blockBuffersPool.Get().(*blockBuffers)
+		defer blockBuffersPool.Put(bufs)
+		cFills = cfg.Telemetry.Counter(fmt.Sprintf("rng.gamma[%d].block-fills", wid), "events",
+			"bulk block-generation batches (CycleBlock calls)")
+		cWords = cfg.Telemetry.Counter(fmt.Sprintf("rng.gamma[%d].block-words", wid), "values",
+			"Mersenne-Twister words consumed through bulk fills")
+	}
+	uniformsPerAttempt := int64(cfg.Transform.UniformsPerCandidate())
+
 	for sector := 0; sector < cfg.Sectors; sector++ {
 		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
 
-		reg := hls.NewRegDelay(cfg.BreakID)
 		var counter uint32
 		var quotaAt, trips int64 = -1, 0
 		sectorStart := int64(gen.Cycles())
 
-		for k := int64(0); k < limitMax && int64(reg.Delayed()) < limitMain; k++ {
+		if bufs != nil {
+			for int64(counter)+blockCycles <= limitMain && trips < limitMax {
+				attempts := int64(blockCycles)
+				if rem := limitMax - trips; rem < attempts {
+					attempts = rem // starvation guard: never exceed limitMax trips
+				}
+				nvBefore := gen.NormalValid()
+				produced := gen.CycleBlock(bufs.out, int(attempts), bufs.scratch)
+				for _, v := range bufs.out[:produced] {
+					emit(v)
+				}
+				counter += uint32(produced)
+				trips += attempts
+				if int64(counter) == limitMain {
+					quotaAt = trips - 1 // quota can only land on the chunk's last trip
+				}
+				// One bulk increment per chunk: MT0 words (always enabled),
+				// the gated MT1 words (one per valid normal) and the gated
+				// MT2 words (one per accepted candidate).
+				cWords.Add(attempts*uniformsPerAttempt + int64(gen.NormalValid()-nvBefore) + int64(produced))
+				cFills.Add(1)
+			}
+		}
+
+		reg := hls.NewRegDelay(cfg.BreakID)
+		for k := trips; k < limitMax && int64(reg.Delayed()) < limitMain; k++ {
 			reg.Update(counter)
 			r := gen.CycleStep()
 			if r.Valid && int64(counter) < limitMain {

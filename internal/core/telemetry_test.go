@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/decwi/decwi/internal/rng/mt"
@@ -21,9 +22,10 @@ func TestTelemetryDoesNotPerturbRNG(t *testing.T) {
 		SectorVariance: 1.39, Seed: 99,
 	}
 
-	run := func(rec *telemetry.Recorder) *RunResult {
+	run := func(rec *telemetry.Recorder, gated bool) *RunResult {
 		cfg := base
 		cfg.Telemetry = rec
+		cfg.GatedCompute = gated
 		eng, err := NewEngine(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -35,15 +37,21 @@ func TestTelemetryDoesNotPerturbRNG(t *testing.T) {
 		return r
 	}
 
-	plain := run(nil)
-	traced := run(telemetry.New(1 << 12))
+	// Both compute paths must be telemetry-transparent: the gated path
+	// because any hook drawing a word would shift the stream, the block
+	// path additionally because its per-chunk counter bookkeeping reads
+	// the generator's counters mid-sector.
+	for _, gated := range []bool{true, false} {
+		plain := run(nil, gated)
+		traced := run(telemetry.New(1<<12), gated)
 
-	if len(plain.Data) != len(traced.Data) {
-		t.Fatalf("data length changed under telemetry: %d vs %d", len(plain.Data), len(traced.Data))
-	}
-	for i := range plain.Data {
-		if plain.Data[i] != traced.Data[i] {
-			t.Fatalf("value %d perturbed by telemetry: %v (off) vs %v (on)", i, plain.Data[i], traced.Data[i])
+		if len(plain.Data) != len(traced.Data) {
+			t.Fatalf("gated=%v: data length changed under telemetry: %d vs %d", gated, len(plain.Data), len(traced.Data))
+		}
+		for i := range plain.Data {
+			if plain.Data[i] != traced.Data[i] {
+				t.Fatalf("gated=%v: value %d perturbed by telemetry: %v (off) vs %v (on)", gated, i, plain.Data[i], traced.Data[i])
+			}
 		}
 	}
 }
@@ -94,5 +102,55 @@ func TestTelemetryCountersPopulated(t *testing.T) {
 	}
 	if byName["engine.cycles[0]"].Value() <= byName["engine.accepted[0]"].Value() {
 		t.Fatal("cycles should exceed accepted under rejection")
+	}
+}
+
+// TestTelemetryBlockCounters verifies the block compute path publishes
+// its bulk-fill accounting: the number of CycleBlock batches and the
+// total Mersenne-Twister words those batches consumed. The word count
+// must cover at least the always-enabled MT0 draws of every bulk cycle,
+// and the counters must vanish when GatedCompute forces the one-word
+// path.
+func TestTelemetryBlockCounters(t *testing.T) {
+	run := func(gated bool) map[string]*telemetry.Counter {
+		rec := telemetry.New(1 << 12)
+		eng, err := NewEngine(Config{
+			Transform: normal.MarsagliaBray, MTParams: mt.MT19937Params,
+			WorkItems: 2, Scenarios: 4000, Sectors: 2,
+			SectorVariance: 1.39, Seed: 5, Telemetry: rec,
+			GatedCompute: gated,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]*telemetry.Counter{}
+		for _, c := range rec.Counters() {
+			byName[c.Name()] = c
+		}
+		return byName
+	}
+
+	block := run(false)
+	for wid := 0; wid < 2; wid++ {
+		fills := block[fmt.Sprintf("rng.gamma[%d].block-fills", wid)]
+		words := block[fmt.Sprintf("rng.gamma[%d].block-words", wid)]
+		if fills.Value() == 0 {
+			t.Fatalf("work-item %d: no block fills recorded on the block path", wid)
+		}
+		perAttempt := int64(normal.MarsagliaBray.UniformsPerCandidate())
+		if min := fills.Value() * 256 * perAttempt; words.Value() < min {
+			t.Fatalf("work-item %d: block-words %d below the MT0 floor %d for %d fills",
+				wid, words.Value(), min, fills.Value())
+		}
+	}
+
+	gated := run(true)
+	for wid := 0; wid < 2; wid++ {
+		if c, ok := gated[fmt.Sprintf("rng.gamma[%d].block-fills", wid)]; ok && c.Value() != 0 {
+			t.Fatalf("work-item %d: gated run recorded %d block fills", wid, c.Value())
+		}
 	}
 }

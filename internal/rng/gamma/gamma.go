@@ -112,12 +112,60 @@ func (p Params) Candidate(n0 float32, u1 float32) (dv float64, accept bool) {
 //
 // and is likewise computed unconditionally in the pipeline.
 func (p Params) Finish(dv float64, u2 float32) float32 {
-	corrected := dv * math.Pow(float64(u2), p.invAlpha)
 	g := dv
 	if p.AlphaFlag {
-		g = corrected
+		// The Pow is only observable when the boost correction applies;
+		// skipping it otherwise leaves the result bitwise-unchanged (the
+		// hardware computes it unconditionally, but a select discards it).
+		g = dv * math.Pow(float64(u2), p.invAlpha)
 	}
 	return float32(g * p.Scale)
+}
+
+// CandidateBlock evaluates the Marsaglia-Tsang test over a whole block of
+// normal candidates: slot i consumes n0[i] (meaningful only when nok[i])
+// and, when nok[i], the next word of u1 — exactly the gated-stream
+// pairing of CycleStep, where the k-th *valid* normal meets the k-th MT1
+// word. len(u1) must therefore equal the number of true entries in nok.
+// dv[i] and acc[i] receive the unscaled candidate and the acceptance;
+// the return value is the accept count (= words of MT2 the correction
+// stage will consume).
+//
+// Accepted entries are bitwise-identical to Candidate: the squeeze test
+// is checked first and the logarithms evaluated only when it fails,
+// which cannot change the decision (the scalar form ors the two tests).
+func (p Params) CandidateBlock(dv []float64, acc []bool, n0 []float32, nok []bool, u1 []uint32) (accepted int) {
+	j := 0
+	for i := range n0 {
+		if !nok[i] {
+			// The gated pipeline still computes a candidate here from the
+			// held MT1 word, but validity is forced false and the value
+			// discarded, so the block path skips the work entirely.
+			dv[i] = 0
+			acc[i] = false
+			continue
+		}
+		x := float64(n0[i])
+		cx := 1 + p.c*x
+		v := cx * cx * cx
+		u := float64(rng.U32ToFloatOpen(u1[j]))
+		j++
+		ok := false
+		if v > 0 {
+			x2 := x * x
+			if u < 1-0.0331*x2*x2 {
+				ok = true
+			} else if math.Log(u) < 0.5*x2+p.d-p.d*v+p.d*math.Log(v) {
+				ok = true
+			}
+		}
+		dv[i] = p.d * v
+		acc[i] = ok
+		if ok {
+			accepted++
+		}
+	}
+	return accepted
 }
 
 // CycleResult is the full outcome of one pipelined iteration of the

@@ -7,11 +7,20 @@
 // every cycle, but the internal state is consumed only when an external
 // enable flag allows it.
 //
-// The generators here are deliberately implemented one-word-at-a-time
-// (rather than regenerating the whole state block at once) because the
-// hardware design the paper describes produces exactly one tempered word
-// per clock cycle, and the Peek/Advance split needed by the gated mode
-// falls out naturally.
+// The generators support two consumption disciplines over the same
+// state recurrence:
+//
+//   - One word at a time (Peek/Advance/Next): the hardware formulation.
+//     The design the paper describes produces exactly one tempered word
+//     per clock cycle, and the Peek/Advance split needed by the gated
+//     mode falls out naturally. The FPGA co-simulation depends on these
+//     Listing-3 semantics being cycle-exact.
+//   - In bulk (FillUint32): the classic block-MT formulation that
+//     regenerates runs of the state array in place and tempers into the
+//     caller's buffer. This is the host-side compute path: it produces
+//     the bitwise-identical word stream with none of the per-call
+//     Peek-cache branching, and interleaves freely with the one-word
+//     calls.
 package mt
 
 // Params describes a Mersenne-Twister instance in the Matsumoto-Nishimura
@@ -187,6 +196,97 @@ func (c *Core) Next(enable bool) uint32 {
 		c.Advance()
 	}
 	return v
+}
+
+// FillUint32 writes len(dst) tempered words into dst — the block-MT
+// formulation: contiguous runs of the state array are regenerated in
+// place and tempered out in tight loops, with the twist's two wrapping
+// taps handled by segment bounds instead of per-word modulo arithmetic.
+//
+// The output is bitwise-identical to len(dst) successive Uint32 calls
+// (the incremental recurrence commits exactly the same mixed old/new
+// state words a whole-block regeneration does), so Fill and the one-word
+// calls interleave freely: a pending Peek cache is drained first, and
+// after a Fill the gated Next(enable=false) re-reads the following word
+// exactly as it would have on the one-word path. FillUint32 never
+// allocates.
+func (c *Core) FillUint32(dst []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	k := 0
+	if c.haveCached {
+		dst[0] = c.cached
+		c.Advance()
+		k = 1
+	}
+	n, m := c.p.N, c.p.M
+	st := c.state
+	up, lo, a := c.upperMask, c.lowerMask, c.p.A
+	tu, ts, tb := c.p.TemperU, c.p.TemperS, c.p.TemperB
+	tt, tc, tl := c.p.TemperT, c.p.TemperC, c.p.TemperL
+	i := c.idx
+	for k < len(dst) {
+		end := i + (len(dst) - k)
+		if end > n {
+			end = n
+		}
+		// Segment 1: neither tap wraps (i+1 < n and i+m < n).
+		s1 := n - m
+		if s1 > end {
+			s1 = end
+		}
+		for ; i < s1; i++ {
+			y := (st[i] & up) | (st[i+1] & lo)
+			x := st[i+m] ^ (y >> 1)
+			if y&1 != 0 {
+				x ^= a
+			}
+			st[i] = x
+			x ^= x >> tu
+			x ^= (x << ts) & tb
+			x ^= (x << tt) & tc
+			x ^= x >> tl
+			dst[k] = x
+			k++
+		}
+		// Segment 2: the middle tap wraps into this block's fresh words.
+		s2 := n - 1
+		if s2 > end {
+			s2 = end
+		}
+		for ; i < s2; i++ {
+			y := (st[i] & up) | (st[i+1] & lo)
+			x := st[i+m-n] ^ (y >> 1)
+			if y&1 != 0 {
+				x ^= a
+			}
+			st[i] = x
+			x ^= x >> tu
+			x ^= (x << ts) & tb
+			x ^= (x << tt) & tc
+			x ^= x >> tl
+			dst[k] = x
+			k++
+		}
+		// Segment 3: the final word of the block, both taps wrapped.
+		if i == n-1 && i < end {
+			y := (st[n-1] & up) | (st[0] & lo)
+			x := st[m-1] ^ (y >> 1)
+			if y&1 != 0 {
+				x ^= a
+			}
+			st[n-1] = x
+			x ^= x >> tu
+			x ^= (x << ts) & tb
+			x ^= (x << tt) & tc
+			x ^= x >> tl
+			dst[k] = x
+			k++
+			i = 0
+		}
+	}
+	c.idx = i
 }
 
 // StateLen returns the number of 32-bit state words (624 or 17 for the

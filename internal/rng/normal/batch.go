@@ -1,0 +1,130 @@
+package normal
+
+import (
+	"math"
+
+	"github.com/decwi/decwi/internal/rng"
+)
+
+// This file holds the batch ("fill") kernels of the block compute path:
+// every transform consumes whole slices of raw uniform words and writes
+// whole slices of candidates, instead of being called once per pipeline
+// cycle. Valid outputs are bitwise-identical to the scalar step
+// functions; slots whose candidate is rejected are zeroed, because the
+// block consumer discards them without ever reading the value (the
+// scalar steps compute a clamped dummy value there only to mirror the
+// hardware's unconditional datapath). The fill kernels never allocate.
+
+// PolarFill runs one Marsaglia-Bray polar attempt per word pair,
+// writing candidates to dst and validity to ok, and returns the number
+// of valid candidates. Unlike the scalar PolarStep — which evaluates the
+// sqrt/log datapath unconditionally, as the pipelined hardware does —
+// the batch kernel skips the transcendental math for the ~21.5 % of
+// attempts the validity predicate rejects.
+func PolarFill(dst []float32, ok []bool, w1, w2 []uint32) (valid int) {
+	for i := range dst {
+		v1 := rng.U32ToSigned(w1[i])
+		v2 := rng.U32ToSigned(w2[i])
+		s := v1*v1 + v2*v2
+		if s > 0 && s < 1 {
+			f := float32(math.Sqrt(-2 * math.Log(float64(s)) / float64(s)))
+			dst[i] = v1 * f
+			ok[i] = true
+			valid++
+		} else {
+			dst[i] = 0
+			ok[i] = false
+		}
+	}
+	return valid
+}
+
+// BoxMullerFill computes one Box-Muller output per word pair; every
+// candidate is valid, so ok is set to true throughout and the count is
+// len(dst).
+func BoxMullerFill(dst []float32, ok []bool, w1, w2 []uint32) (valid int) {
+	for i := range dst {
+		dst[i] = BoxMullerStep(w1[i], w2[i])
+		ok[i] = true
+	}
+	return len(dst)
+}
+
+// ICDFFPGAFill transforms one word per candidate through the bit-level
+// segmented inverse CDF. Saturated inputs (beyond the deepest octave,
+// a ~2^-29 event) are marked invalid exactly as in the scalar step.
+func ICDFFPGAFill(dst []float32, ok []bool, words []uint32) (valid int) {
+	icdfTableOnce.Do(buildICDFTable)
+	for i := range dst {
+		z, zok := ICDFFPGAStep(words[i])
+		dst[i], ok[i] = z, zok
+		if zok {
+			valid++
+		}
+	}
+	return valid
+}
+
+// ICDFCUDAFill transforms one word per candidate through the
+// erfinv-based inverse CDF.
+func ICDFCUDAFill(dst []float32, ok []bool, words []uint32) (valid int) {
+	for i := range dst {
+		z, zok := ICDFCUDAStep(words[i])
+		dst[i], ok[i] = z, zok
+		if zok {
+			valid++
+		}
+	}
+	return valid
+}
+
+// ZigguratFill runs one pipelined ziggurat attempt per candidate. w1
+// supplies the candidate/layer words (one per attempt); w23 supplies the
+// wedge/tail acceptance uniforms (two consecutive words per attempt, the
+// same consumption order as the scalar per-cycle formulation). It
+// returns the accept count; rejected slots retry on the caller's next
+// block with entirely fresh words, which is the standard redraw loop.
+func ZigguratFill(dst []float32, ok []bool, w1, w23 []uint32) (valid int) {
+	zigOnce.Do(buildZiggurat)
+	for i := range dst {
+		z, zok := ZigguratStep(w1[i], w23[2*i], w23[2*i+1])
+		dst[i], ok[i] = z, zok
+		if zok {
+			valid++
+		}
+	}
+	return valid
+}
+
+// FillNormal dispatches to the batch kernel of the given transform kind,
+// consuming w1 (one word per candidate) and, for the two-stream kinds,
+// w2 (one word per candidate for Marsaglia-Bray and Box-Muller, two per
+// candidate for the ziggurat; ignored — may be nil — for the ICDF
+// kinds). dst, ok and w1 must share their length. Returns the number of
+// valid candidates.
+func FillNormal(k Kind, dst []float32, ok []bool, w1, w2 []uint32) (valid int) {
+	switch k {
+	case MarsagliaBray:
+		return PolarFill(dst, ok, w1, w2)
+	case ICDFFPGA:
+		return ICDFFPGAFill(dst, ok, w1)
+	case ICDFCUDA:
+		return ICDFCUDAFill(dst, ok, w1)
+	case BoxMuller:
+		return BoxMullerFill(dst, ok, w1, w2)
+	case Ziggurat:
+		return ZigguratFill(dst, ok, w1, w2)
+	default:
+		panic("normal: unknown transform kind")
+	}
+}
+
+// InverseNormalCDFFill evaluates Wichura's AS241 Φ⁻¹ over a block:
+// dst[i] = InverseNormalCDF(p[i]). The statistics layer uses it where a
+// whole grid of quantiles is needed at once (ICDF coefficient fitting,
+// histogram references).
+func InverseNormalCDFFill(dst, p []float64) {
+	for i := range dst {
+		dst[i] = InverseNormalCDF(p[i])
+	}
+}

@@ -1,0 +1,126 @@
+package normal
+
+import (
+	"testing"
+
+	"github.com/decwi/decwi/internal/rng/mt"
+)
+
+// drawWords pulls n words from a shared MT19937 stream so the batch and
+// scalar paths see identical inputs.
+func drawWords(src *mt.Core, n int) []uint32 {
+	w := make([]uint32, n)
+	src.FillUint32(w)
+	return w
+}
+
+// TestFillNormalMatchesScalar cross-checks every batch kernel against
+// its scalar per-cycle step: valid slots must be bitwise-identical, the
+// validity flags must agree, and the returned count must equal the
+// number of true flags.
+func TestFillNormalMatchesScalar(t *testing.T) {
+	const n = 4096
+	for _, k := range []Kind{MarsagliaBray, ICDFFPGA, ICDFCUDA, BoxMuller, Ziggurat} {
+		t.Run(k.String(), func(t *testing.T) {
+			src := mt.NewMT19937(42)
+			w1 := drawWords(src, n)
+			var w2 []uint32
+			switch k {
+			case MarsagliaBray, BoxMuller:
+				w2 = drawWords(src, n)
+			case Ziggurat:
+				w2 = drawWords(src, 2*n)
+			}
+			dst := make([]float32, n)
+			ok := make([]bool, n)
+			valid := FillNormal(k, dst, ok, w1, w2)
+
+			count := 0
+			for i := 0; i < n; i++ {
+				var z float32
+				var zok bool
+				switch k {
+				case MarsagliaBray:
+					z, zok = PolarStep(w1[i], w2[i])
+				case ICDFFPGA:
+					z, zok = ICDFFPGAStep(w1[i])
+				case ICDFCUDA:
+					z, zok = ICDFCUDAStep(w1[i])
+				case BoxMuller:
+					z, zok = BoxMullerStep(w1[i], w2[i]), true
+				case Ziggurat:
+					z, zok = ZigguratStep(w1[i], w2[2*i], w2[2*i+1])
+				}
+				if ok[i] != zok {
+					t.Fatalf("slot %d: batch ok=%v, scalar ok=%v", i, ok[i], zok)
+				}
+				if zok {
+					count++
+					if dst[i] != z {
+						t.Fatalf("slot %d: batch %v != scalar %v", i, dst[i], z)
+					}
+				}
+			}
+			if valid != count {
+				t.Fatalf("FillNormal returned %d valid, flags say %d", valid, count)
+			}
+			if k.Rejecting() && (valid == 0 || valid == n) {
+				t.Fatalf("rejecting kind %v produced degenerate accept count %d/%d", k, valid, n)
+			}
+		})
+	}
+}
+
+// TestInverseNormalCDFFill checks the Wichura batch against the scalar
+// evaluation.
+func TestInverseNormalCDFFill(t *testing.T) {
+	const n = 1000
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = (float64(i) + 0.5) / float64(n)
+	}
+	dst := make([]float64, n)
+	InverseNormalCDFFill(dst, p)
+	for i := range p {
+		if want := InverseNormalCDF(p[i]); dst[i] != want {
+			t.Fatalf("quantile %v: batch %v != scalar %v", p[i], dst[i], want)
+		}
+	}
+}
+
+// TestFillNormalZeroAlloc gates the no-allocation contract of the batch
+// kernels in their steady state.
+func TestFillNormalZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	const n = 1024
+	src := mt.NewMT19937(7)
+	w1 := drawWords(src, n)
+	w2 := drawWords(src, 2*n)
+	dst := make([]float32, n)
+	ok := make([]bool, n)
+	for _, k := range []Kind{MarsagliaBray, ICDFFPGA, ICDFCUDA, BoxMuller, Ziggurat} {
+		FillNormal(k, dst, ok, w1, w2) // warm lazy tables outside the measured runs
+		if avg := testing.AllocsPerRun(20, func() { FillNormal(k, dst, ok, w1, w2) }); avg != 0 {
+			t.Fatalf("%v batch kernel allocates %v times per call, want 0", k, avg)
+		}
+	}
+}
+
+func BenchmarkFillNormal(b *testing.B) {
+	const n = 4096
+	src := mt.NewMT19937(3)
+	w1 := drawWords(src, n)
+	w2 := drawWords(src, 2*n)
+	dst := make([]float32, n)
+	ok := make([]bool, n)
+	for _, k := range []Kind{MarsagliaBray, ICDFFPGA, ICDFCUDA, BoxMuller, Ziggurat} {
+		b.Run(k.String(), func(b *testing.B) {
+			b.SetBytes(4 * n)
+			for i := 0; i < b.N; i++ {
+				FillNormal(k, dst, ok, w1, w2)
+			}
+		})
+	}
+}

@@ -135,6 +135,7 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 					BurstRNs:          opt.BurstRNs,
 					Seed:              seeds[s],
 					PerValueTransport: opt.PerValueTransport,
+					GatedCompute:      opt.GatedCompute,
 				})
 				if err != nil {
 					outs[s].err = err

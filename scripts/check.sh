@@ -14,10 +14,26 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-# Benchmark smoke run: one iteration each, so the burst-transport and
-# sharded-generation benchmarks can never silently rot.
-echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel)"
+# Block/gated compute equivalence under the race detector: the block
+# path shares sync.Pool scratch across work-item goroutines, so its
+# bitwise-equivalence proof must also hold with full synchronization
+# checking (already part of the tree-wide -race run above, but named
+# here so a narrowed test filter can never drop it).
+echo "== block-compute equivalence under -race"
+go test -race -run 'TestBlockCompute|TestCycleBlock|TestFillUint32|TestPropertyFillInterleaving' \
+    ./internal/core ./internal/rng/gamma ./internal/rng/mt
+
+# Allocation gates (meaningful only without -race, whose instrumentation
+# allocates): the steady-state block loops must not allocate at all.
+echo "== zero-allocation gates (steady-state block loops)"
+go test -run 'TestSteadyStateBlockZeroAllocs|TestFillUint32ZeroAlloc|TestFillNormalZeroAlloc' \
+    ./internal/rng/gamma ./internal/rng/mt ./internal/rng/normal
+
+# Benchmark smoke run: one iteration each, so the burst-transport,
+# sharded-generation and compute-path benchmarks can never silently rot.
+echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel, BenchmarkBlockCompute)"
 go test -run '^$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
 go test -run '^$' -bench BenchmarkGenerateParallel -benchtime 1x .
+go test -run '^$' -bench BenchmarkBlockCompute -benchtime 1x .
 
 echo "tier-1 gate: OK"
