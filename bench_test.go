@@ -8,6 +8,7 @@ package decwi_test
 // reproduction log.
 
 import (
+	"runtime"
 	"testing"
 
 	decwi "github.com/decwi/decwi"
@@ -420,8 +421,12 @@ func BenchmarkBlockCompute(b *testing.B) {
 
 // BenchmarkGenerateParallel is the transport-and-sharding ablation: the
 // per-value seed transport versus the batched WordRNs transport through
-// Generate, versus the sharded GenerateParallel runner. All three move
-// the same number of values; bytes/sec is the comparison axis.
+// Generate, versus the work-item-sharded GenerateParallel scheduler
+// (fused chunk execution, zero-copy assembly, output bitwise-identical
+// to Generate). The 1core variant pins GOMAXPROCS=1 so the scheduler's
+// overhead against the single sequential engine is measured without
+// parallel speedup. All variants move the same number of values;
+// bytes/sec is the comparison axis.
 func BenchmarkGenerateParallel(b *testing.B) {
 	const scenarios, sectors = 65536, 1
 	opts := decwi.GenerateOptions{Scenarios: scenarios, Sectors: sectors, WorkItems: 4}
@@ -451,6 +456,19 @@ func BenchmarkGenerateParallel(b *testing.B) {
 			o.Seed = uint64(i + 1)
 			if _, err := decwi.GenerateParallel(decwi.Config2, decwi.ParallelOptions{
 				GenerateOptions: o, Shards: 4,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(scenarios * sectors * 4)
+	})
+	b.Run("sharded-1core", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i + 1)
+			if _, err := decwi.GenerateParallel(decwi.Config2, decwi.ParallelOptions{
+				GenerateOptions: o, Shards: 4, Workers: 1,
 			}); err != nil {
 				b.Fatal(err)
 			}

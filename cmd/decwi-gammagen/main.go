@@ -28,6 +28,9 @@ func main() {
 	workItems := flag.Int("workitems", 0, "decoupled work-items (0 = P&R default)")
 	seed := flag.Uint64("seed", 1, "master seed")
 	gated := flag.Bool("gated", false, "force the cycle-exact gated compute path (default: block path, same output)")
+	parallel := flag.Bool("parallel", false, "generate with the work-stealing parallel engine (same output bytes)")
+	shards := flag.Int("shards", 0, "parallel: target work-item chunk count (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel: concurrent scheduler workers (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "output file (default stdout)")
 	text := flag.Bool("text", false, "write one decimal value per line instead of raw float32 LE")
 	validate := flag.Bool("validate", true, "run the KS validation and report it on stderr")
@@ -40,7 +43,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(*cfgNum, *n, *variance, *workItems, *seed, *gated, *out, *text, *validate)
+	runErr := run(*cfgNum, *n, *variance, *workItems, *seed, *gated,
+		*parallel, *shards, *workers, *out, *text, *validate)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -50,7 +54,8 @@ func main() {
 	}
 }
 
-func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gated bool, out string, text, validate bool) error {
+func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gated bool,
+	parallel bool, shards, workers int, out string, text, validate bool) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("config %d outside 1-4", cfgNum)
 	}
@@ -58,18 +63,35 @@ func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gate
 		return fmt.Errorf("n must be ≥ 1")
 	}
 	cfg := decwi.ConfigID(cfgNum)
-	res, err := decwi.Generate(cfg, decwi.GenerateOptions{
+	gopt := decwi.GenerateOptions{
 		Scenarios: n, Sectors: 1, Variance: variance,
 		WorkItems: workItems, Seed: seed, GatedCompute: gated,
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Fprintf(os.Stderr, "decwi-gammagen: %s, %d work-items, rejection rate %.4f, modelled FPGA time %v\n",
-		cfg, res.WorkItems, res.RejectionRate, res.FPGATime)
+	// Both paths produce the same bytes for the same options; -parallel
+	// only changes how the work-item axis is scheduled onto the host.
+	var vals []float32
+	if parallel {
+		pres, err := decwi.GenerateParallel(cfg, decwi.ParallelOptions{
+			GenerateOptions: gopt, Shards: shards, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "decwi-gammagen: %s, %d work-items, rejection rate %.4f, %d chunks on %d workers (%d stolen)\n",
+			cfg, pres.WorkItems, pres.RejectionRate, pres.Chunks, pres.Workers, pres.Steals)
+		vals = pres.Sector(0)
+	} else {
+		res, err := decwi.Generate(cfg, gopt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "decwi-gammagen: %s, %d work-items, rejection rate %.4f, modelled FPGA time %v\n",
+			cfg, res.WorkItems, res.RejectionRate, res.FPGATime)
+		vals = res.Sector(0)
+	}
 
 	if validate {
-		d, p, err := decwi.ValidateGamma(res.Sector(0), variance)
+		d, p, err := decwi.ValidateGamma(vals, variance)
 		if err != nil {
 			return err
 		}
@@ -92,7 +114,6 @@ func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gate
 	bw := bufio.NewWriterSize(w, 1<<20)
 	defer bw.Flush()
 
-	vals := res.Sector(0)
 	if text {
 		for _, v := range vals {
 			if _, err := fmt.Fprintf(bw, "%g\n", v); err != nil {

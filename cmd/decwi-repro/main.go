@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/profiling"
@@ -27,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "", "regenerate figure (5a, 5b, 6, 7, 8, 9)")
 	rates := flag.Bool("rates", false, "measure the Section IV-E rejection rates")
 	cosim := flag.Bool("cosim", false, "run the cycle-accurate dataflow co-simulation")
+	parallel := flag.Bool("parallel", false, "compare the work-stealing parallel engine against sequential Generate (throughput + bitwise equality)")
 	all := flag.Bool("all", false, "regenerate everything")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of formatted text")
 	seed := flag.Uint64("seed", 1, "master seed for the measured quantities")
@@ -35,7 +37,7 @@ func main() {
 	flag.Parse()
 	csvMode = *csvOut
 
-	if !*all && *table == 0 && *fig == "" && !*rates && !*cosim {
+	if !*all && *table == 0 && *fig == "" && !*rates && !*cosim && !*parallel {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -122,6 +124,9 @@ func main() {
 	if *all || *cosim {
 		run("cosim", func() error { return printCoSim(*seed) })
 	}
+	if *all || *parallel {
+		run("parallel", func() error { return printParallel(*seed) })
+	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
 		os.Exit(1)
@@ -154,6 +159,60 @@ func printCoSim(seed uint64) error {
 		fmt.Printf("  %-9s cycles=%-8d overlap=%5.1f%%  stalls=%5.1f%%  bw=%.2f GB/s  (%s)\n",
 			c, rep.Cycles, 100*rep.OverlapFraction, 100*rep.StallFraction,
 			rep.EffectiveBandwidthGBs, regime)
+	}
+	fmt.Println()
+	return nil
+}
+
+// printParallel measures the host-side generation rate of the
+// sequential engine and the work-item-sharded parallel engine on the
+// same workload and verifies the central contract: identical bytes.
+func printParallel(seed uint64) error {
+	const scenarios, sectors = 1 << 18, 2
+	fmt.Println("Work-item-sharded parallel engine vs sequential Generate")
+	if csvMode {
+		fmt.Println("config,seq_mbps,par_mbps,speedup,chunks,workers,steals,imbalance,bitwise_equal")
+	}
+	for _, c := range decwi.AllConfigs {
+		opt := decwi.GenerateOptions{Scenarios: scenarios, Sectors: sectors, Seed: seed}
+		t0 := time.Now()
+		seq, err := decwi.Generate(c, opt)
+		if err != nil {
+			return err
+		}
+		seqDur := time.Since(t0)
+		t0 = time.Now()
+		par, err := decwi.GenerateParallel(c, decwi.ParallelOptions{GenerateOptions: opt})
+		if err != nil {
+			return err
+		}
+		parDur := time.Since(t0)
+		equal := len(seq.Values) == len(par.Values)
+		for i := range seq.Values {
+			if !equal || par.Values[i] != seq.Values[i] {
+				equal = false
+				break
+			}
+		}
+		bytes := float64(len(seq.Values) * 4)
+		seqMBs := bytes / 1e6 / seqDur.Seconds()
+		parMBs := bytes / 1e6 / parDur.Seconds()
+		if csvMode {
+			fmt.Printf("%s,%.2f,%.2f,%.2f,%d,%d,%d,%.2f,%v\n",
+				c, seqMBs, parMBs, parMBs/seqMBs, par.Chunks, par.Workers,
+				par.Steals, par.ChunkImbalance, equal)
+			continue
+		}
+		verdict := "bitwise-identical"
+		if !equal {
+			verdict = "OUTPUT DIVERGED"
+		}
+		fmt.Printf("  %-9s seq %6.2f MB/s  par %6.2f MB/s (x%.2f)  %d chunks/%d workers, %d stolen, imbalance %.2fx  [%s]\n",
+			c, seqMBs, parMBs, parMBs/seqMBs, par.Chunks, par.Workers,
+			par.Steals, par.ChunkImbalance, verdict)
+		if !equal {
+			return fmt.Errorf("%s: parallel output diverged from sequential Generate", c)
+		}
 	}
 	fmt.Println()
 	return nil

@@ -33,20 +33,26 @@ func main() {
 	workItems := flag.Int("workitems", 0, "override decoupled work-items (0 = place-and-route outcome)")
 	seed := flag.Uint64("seed", 1, "master seed")
 	cosimQuota := flag.Int64("cosim-quota", 4096, "values per work-item for the cycle-accurate co-simulation pass (0 = skip)")
+	parallel := flag.Bool("parallel", false, "also run the work-stealing parallel host path and attribute its chunk scheduling")
+	shards := flag.Int("shards", 0, "parallel: target work-item chunk count (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel: concurrent scheduler workers (0 = GOMAXPROCS)")
+	chunkWI := flag.Int("chunk", 0, "parallel: work-items per chunk (0 = even split across shards)")
 	tracePath := flag.String("trace", "decwi-trace.json", "output path for the Chrome trace_event JSON")
 	reportPath := flag.String("report", "", "output path for the stall-attribution report (default: stdout)")
 	ringCap := flag.Int("events", telemetry.DefaultRingCap, "event ring capacity (oldest events overwritten beyond this)")
 	flag.Parse()
 
 	if err := run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
-		*cosimQuota, *tracePath, *reportPath, *ringCap); err != nil {
+		*cosimQuota, *tracePath, *reportPath, *ringCap,
+		*parallel, *shards, *workers, *chunkWI); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-trace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
-	cosimQuota int64, tracePath, reportPath string, ringCap int) error {
+	cosimQuota int64, tracePath, reportPath string, ringCap int,
+	parallel bool, shards, workers, chunkWI int) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("-config must be 1..4, got %d", cfgNum)
 	}
@@ -100,6 +106,24 @@ func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 		cosim = &res
 	}
 
+	// Pass 3 (optional): the work-stealing parallel host path — per-chunk
+	// EvChunk spans plus the scheduler counters the stall report's
+	// "Parallel scheduler" section attributes.
+	var pres *decwi.ParallelResult
+	if parallel {
+		pres, err = decwi.GenerateParallel(cfg, decwi.ParallelOptions{
+			GenerateOptions: decwi.GenerateOptions{
+				Scenarios: scenarios, Sectors: sectors,
+				WorkItems: workItems, Seed: seed,
+				Telemetry: rec,
+			},
+			Shards: shards, Workers: workers, ChunkWorkItems: chunkWI,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	f, err := os.Create(tracePath)
 	if err != nil {
 		return err
@@ -130,6 +154,10 @@ func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 	if cosim != nil {
 		fmt.Fprintf(out, "cosim: %d cycles, %d bursts, overlap %.1f%%, %.2f GB/s effective\n",
 			cosim.Cycles, cosim.Bursts, 100*cosim.OverlapFraction(), cosim.EffectiveBandwidthGBs)
+	}
+	if pres != nil {
+		fmt.Fprintf(out, "parallel: %d chunks on %d workers, %d stolen, chunk imbalance %.2fx\n",
+			pres.Chunks, pres.Workers, pres.Steals, pres.ChunkImbalance)
 	}
 	fmt.Fprintln(out)
 	if err := rec.WriteStallReport(out); err != nil {

@@ -11,6 +11,7 @@ import (
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
 	"github.com/decwi/decwi/internal/stats"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // ConfigID selects one of the paper's four application configurations
@@ -135,6 +136,16 @@ type GenerateOptions struct {
 	// either way; force it when cycle-level interleaving must be
 	// observable (stall tracing, co-simulation cross-checks).
 	GatedCompute bool
+	// BreakID is Listing 2's counter delay index for the delayed exit
+	// ("here it suffices to use zero"). Values > 0 make every work-item
+	// overshoot its quota by BreakID extra MAINLOOP trips before the
+	// gated exit fires; the surplus values are discarded, not stored,
+	// so the output layout is unchanged.
+	BreakID int
+	// Telemetry, when non-nil, records engine instrumentation for the
+	// run (stream backpressure, per-work-item divergence, retry and
+	// scheduler attribution). Tracing never perturbs the generated data.
+	Telemetry *telemetry.Recorder
 }
 
 // GenerateResult carries the generated data and its run metadata.
@@ -166,29 +177,12 @@ func Generate(c ConfigID, opt GenerateOptions) (*GenerateResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opt.Variance == 0 && opt.Variances == nil {
-		opt.Variance = 1.39
-	}
-	if opt.Seed == 0 {
-		opt.Seed = 1
+	opt, err = normalizeGenerate(k, opt)
+	if err != nil {
+		return nil, err
 	}
 	wi := opt.WorkItems
-	if wi == 0 {
-		wi = k.FPGAWorkItems
-	}
-	eng, err := core.NewEngine(core.Config{
-		Transform:         k.Transform,
-		MTParams:          k.MTParams,
-		WorkItems:         wi,
-		Scenarios:         opt.Scenarios,
-		Sectors:           opt.Sectors,
-		SectorVariance:    opt.Variance,
-		SectorVariances:   opt.Variances,
-		BurstRNs:          opt.BurstRNs,
-		Seed:              opt.Seed,
-		PerValueTransport: opt.PerValueTransport,
-		GatedCompute:      opt.GatedCompute,
-	})
+	eng, err := core.NewEngine(engineConfig(k, opt))
 	if err != nil {
 		return nil, err
 	}

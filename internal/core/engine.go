@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -163,8 +164,17 @@ type RunResult struct {
 }
 
 // Engine executes Config as a DATAFLOW region of decoupled work-items.
+//
+// The run layout — per-work-item quotas, device-layout block offsets and
+// per-work-item master seeds — is fixed at construction time and depends
+// only on the configuration, never on how a run is executed. This is
+// what makes a chunked run (RunChunk over a subset of work-items, in any
+// order, on any goroutine) bitwise-identical to the monolithic Run.
 type Engine struct {
-	cfg Config
+	cfg     Config
+	per     []int64  // per-work-item output quota (Listing 2's limitMain)
+	offsets []int64  // device-layout block offsets, len WorkItems+1
+	seeds   []uint64 // per-work-item master seeds (SplitMix64 split)
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -173,11 +183,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: c}, nil
+	e := &Engine{cfg: c}
+	e.per = e.splitScenarios()
+	e.offsets = make([]int64, c.WorkItems+1)
+	for w := 0; w < c.WorkItems; w++ {
+		e.offsets[w+1] = e.offsets[w] + e.per[w]*int64(c.Sectors)
+	}
+	// Per-work-item master seeds are drawn through SplitMix64 *outputs*
+	// (rng.StreamSeeds) rather than linear offsets: a linear offset by the
+	// golden-ratio constant would alias with the generator's own internal
+	// stream split (work-item w's stream k would equal work-item w+1's
+	// stream k−1), producing cross-work-item correlation that the
+	// Anderson-Darling validation catches.
+	e.seeds = rng.StreamSeeds(c.Seed, c.WorkItems)
+	return e, nil
 }
 
 // Config returns the normalized configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// WorkItemQuotas returns a copy of the per-work-item output quotas
+// (earlier work-items absorb the Scenarios remainder).
+func (e *Engine) WorkItemQuotas() []int64 { return append([]int64(nil), e.per...) }
+
+// BlockOffsets returns a copy of the device-layout block offsets:
+// work-item w's output occupies [BlockOffsets[w], BlockOffsets[w+1]) of
+// the result buffer, sector-major inside the block.
+func (e *Engine) BlockOffsets() []int64 { return append([]int64(nil), e.offsets...) }
 
 // splitScenarios distributes Scenarios across work-items (earlier
 // work-items absorb the remainder), mirroring how the host would pick
@@ -201,25 +233,15 @@ func (e *Engine) splitScenarios() []int64 {
 // blocking stream, all scheduled concurrently.
 func (e *Engine) Run() (*RunResult, error) {
 	cfg := e.cfg
-	per := e.splitScenarios()
+	per := e.per
 
 	res := &RunResult{
 		Data:         make([]float32, cfg.Scenarios*int64(cfg.Sectors)),
-		BlockOffsets: make([]int64, cfg.WorkItems+1),
+		BlockOffsets: append([]int64(nil), e.offsets...),
 		PerWI:        make([]WorkItemStats, cfg.WorkItems),
 		cfg:          cfg,
 	}
-	for w := 0; w < cfg.WorkItems; w++ {
-		res.BlockOffsets[w+1] = res.BlockOffsets[w] + per[w]*int64(cfg.Sectors)
-	}
-
-	// Per-work-item master seeds are drawn through SplitMix64 *outputs*
-	// (rng.StreamSeeds) rather than linear offsets: a linear offset by the
-	// golden-ratio constant would alias with the generator's own internal
-	// stream split (work-item w's stream k would equal work-item w+1's
-	// stream k−1), producing cross-work-item correlation that the
-	// Anderson-Darling validation catches.
-	wiSeeds := rng.StreamSeeds(cfg.Seed, cfg.WorkItems)
+	wiSeeds := e.seeds
 
 	procs := make([]hls.Process, 0, 2*cfg.WorkItems)
 	for w := 0; w < cfg.WorkItems; w++ {
@@ -305,16 +327,8 @@ var blockBuffersPool = sync.Pool{New: func() any {
 // number of overshoot trips.
 func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *hls.Stream[float32], stats *WorkItemStats) error {
 	defer out.Close()
-	cfg := e.cfg
-	limitMax := cfg.LimitMaxFactor*limitMain + 1024
-	// Telemetry: a cycle-domain track timestamped by the generator's own
-	// cycle counter. All handles are nil-safe no-ops when tracing is off,
-	// and everything here is per-sector or per-chunk — the MAINLOOP body
-	// itself carries no instrumentation.
-	tr := cfg.Telemetry.Track(fmt.Sprintf("GammaRNG[%d]", wid), telemetry.Cycles)
-
 	var batch []float32
-	if !cfg.PerValueTransport {
+	if !e.cfg.PerValueTransport {
 		batch = make([]float32, 0, WordRNs)
 	}
 	emit := func(v float32) {
@@ -328,6 +342,33 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 			batch = batch[:0]
 		}
 	}
+	if err := e.generateWI(nil, wid, limitMain, gen, emit, stats); err != nil {
+		return err
+	}
+	// Flush the partial trailing batch (runs before the deferred Close,
+	// so the consumer sees every emitted value before end-of-stream).
+	if len(batch) > 0 {
+		out.WriteBurst(batch)
+	}
+	return nil
+}
+
+// generateWI is the transport-agnostic body of gammaRNG: the SECLOOP
+// over sectors with the delayed-exit MAINLOOP, invoking emit once per
+// validated output, in order. The value sequence depends only on the
+// work-item's generator (seed, transform, twister, variances) — never on
+// where emit puts the value — which is what makes the streamed Run path
+// and the fused RunChunk path bitwise-identical. ctx, when non-nil, is
+// polled at sector boundaries so a cancelled chunked run aborts promptly
+// without perturbing any completed sector.
+func (e *Engine) generateWI(ctx context.Context, wid int, limitMain int64, gen *gamma.Generator, emit func(float32), stats *WorkItemStats) error {
+	cfg := e.cfg
+	limitMax := cfg.LimitMaxFactor*limitMain + 1024
+	// Telemetry: a cycle-domain track timestamped by the generator's own
+	// cycle counter. All handles are nil-safe no-ops when tracing is off,
+	// and everything here is per-sector or per-chunk — the MAINLOOP body
+	// itself carries no instrumentation.
+	tr := cfg.Telemetry.Track(fmt.Sprintf("GammaRNG[%d]", wid), telemetry.Cycles)
 
 	var bufs *blockBuffers
 	var cFills, cWords *telemetry.Counter
@@ -342,6 +383,11 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 	uniformsPerAttempt := int64(cfg.Transform.UniformsPerCandidate())
 
 	for sector := 0; sector < cfg.Sectors; sector++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: work-item %d cancelled before sector %d: %w", wid, sector, err)
+			}
+		}
 		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
 
 		var counter uint32
@@ -393,11 +439,6 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 		tr.Span(telemetry.EvSector, sectorStart, int64(gen.Cycles()), trips)
 		// Retry attribution for this sector: loop trips beyond the quota.
 		tr.Instant(telemetry.EvRetry, int64(gen.Cycles()), trips-limitMain)
-	}
-	// Flush the partial trailing batch (runs before the deferred Close,
-	// so the consumer sees every emitted value before end-of-stream).
-	if len(batch) > 0 {
-		out.WriteBurst(batch)
 	}
 	stats.Cycles = gen.Cycles()
 	stats.Accepted = gen.Accepted()

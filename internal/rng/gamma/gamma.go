@@ -218,6 +218,22 @@ func NewGenerator(transform normal.Kind, mtp mt.Params, p Params, seed uint64) *
 	}
 }
 
+// Reseed re-initializes the four gated twister streams from a fresh
+// master seed (same SplitMix64 stream separation as NewGenerator) and
+// zeroes the cycle counters. A reseeded generator is indistinguishable
+// from NewGenerator(transform, mtp, p, seed): mt.Core.Seed rebuilds the
+// full state including the Peek cache. This is what lets the engine pool
+// generators across work-item chunks instead of re-allocating the state
+// arrays per chunk.
+func (g *Generator) Reseed(seed uint64) {
+	seeds := rng.StreamSeeds(seed, 4)
+	g.mt0a.Seed(seeds[0])
+	g.mt0b.Seed(seeds[1])
+	g.mt1.Seed(seeds[2])
+	g.mt2.Seed(seeds[3])
+	g.cycles, g.accepted, g.normalValid = 0, 0, 0
+}
+
 // Params returns the gamma parameters of this generator.
 func (g *Generator) Params() Params { return g.p }
 

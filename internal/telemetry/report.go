@@ -75,9 +75,16 @@ func (r *Recorder) StallReport() string {
 	var b strings.Builder
 	groups := r.groups()
 
+	// Scheduler counters get their own section below; keep them out of
+	// the generic listings.
+	schedulerNames := map[string]bool{
+		"parallel.chunks": true, "parallel.steals": true,
+		"parallel.imbalance-x1000": true,
+	}
 	var cycleGroups, nsGroups, otherGroups []*reportGroup
 	for _, g := range groups {
 		switch {
+		case schedulerNames[g.name]:
 		case g.unit == "cycles" && g.name != "engine.cycles" && g.name != "engine.accepted":
 			cycleGroups = append(cycleGroups, g)
 		case g.unit == "ns":
@@ -149,6 +156,38 @@ func (r *Recorder) StallReport() string {
 			if g.desc != "" {
 				fmt.Fprintf(&b, "     [%s, %d instance(s)]\n", g.name, g.instances)
 			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	if g, ok := groups["parallel.chunks"]; ok && g.total > 0 {
+		fmt.Fprintf(&b, "Parallel scheduler (work-item chunks)\n")
+		var steals int64
+		if s, ok := groups["parallel.steals"]; ok {
+			steals = s.total
+		}
+		fmt.Fprintf(&b, "  chunks executed: %d   stolen: %d (%.1f%%)\n",
+			g.total, steals, 100*float64(steals)/float64(g.total))
+		if im, ok := groups["parallel.imbalance-x1000"]; ok {
+			fmt.Fprintf(&b, "  chunk wall-time imbalance (max/min): %.2fx\n", float64(im.total)/1000)
+		}
+		// Per-worker busy spread: the residual skew work stealing could
+		// not absorb (the scheduler's analogue of a stalled pipeline).
+		var busyMin, busyMax int64 = -1, 0
+		for _, c := range r.Counters() {
+			if strings.HasPrefix(c.Name(), "parallel.worker-busy[") {
+				v := c.Value()
+				if busyMin < 0 || v < busyMin {
+					busyMin = v
+				}
+				if v > busyMax {
+					busyMax = v
+				}
+			}
+		}
+		if busyMin >= 0 {
+			fmt.Fprintf(&b, "  worker busy spread: %.3fms min .. %.3fms max\n",
+				float64(busyMin)/1e6, float64(busyMax)/1e6)
 		}
 		fmt.Fprintf(&b, "\n")
 	}

@@ -95,6 +95,10 @@ const (
 	EvEnqueue
 	// EvCommand is a span: an OpenCL command executing on its queue.
 	EvCommand
+	// EvChunk is a span: one work-item chunk executed by a parallel
+	// scheduler worker (arg: the chunk index; label: "steal" when the
+	// chunk ran on a worker other than its static owner).
+	EvChunk
 )
 
 // String returns the trace-facing event name.
@@ -124,6 +128,8 @@ func (k EventKind) String() string {
 		return "enqueue"
 	case EvCommand:
 		return "command"
+	case EvChunk:
+		return "parallel.chunk"
 	default:
 		return "event"
 	}

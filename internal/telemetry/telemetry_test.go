@@ -205,3 +205,37 @@ func TestStallReportRanking(t *testing.T) {
 		t.Fatalf("report missing other-counter section:\n%s", rep)
 	}
 }
+
+// TestStallReportParallelScheduler: the work-stealing scheduler's
+// counters render as their own report section — chunk/steal totals,
+// the imbalance ratio and the per-worker busy spread — and stay out of
+// the generic listings.
+func TestStallReportParallelScheduler(t *testing.T) {
+	r := New(16)
+	r.Counter("parallel.chunks", "events", "chunks executed").Add(8)
+	r.Counter("parallel.steals", "events", "chunks stolen").Add(2)
+	r.Counter("parallel.imbalance-x1000", "events", "chunk skew").Set(2500)
+	r.Counter("parallel.worker-busy[0]", "ns", "worker busy").Add(4_000_000)
+	r.Counter("parallel.worker-busy[1]", "ns", "worker busy").Add(1_000_000)
+
+	rep := r.StallReport()
+	if !strings.Contains(rep, "Parallel scheduler (work-item chunks)") {
+		t.Fatalf("report missing scheduler section:\n%s", rep)
+	}
+	if !strings.Contains(rep, "chunks executed: 8   stolen: 2 (25.0%)") {
+		t.Fatalf("report missing chunk/steal line:\n%s", rep)
+	}
+	if !strings.Contains(rep, "imbalance (max/min): 2.50x") {
+		t.Fatalf("report missing imbalance line:\n%s", rep)
+	}
+	if !strings.Contains(rep, "worker busy spread: 1.000ms min .. 4.000ms max") {
+		t.Fatalf("report missing busy spread:\n%s", rep)
+	}
+	if strings.Contains(rep, "Other counters") {
+		t.Fatalf("scheduler counters leaked into the generic sections:\n%s", rep)
+	}
+	// EvChunk spans must carry a trace-facing name.
+	if EvChunk.String() != "parallel.chunk" {
+		t.Fatalf("EvChunk renders as %q", EvChunk.String())
+	}
+}

@@ -1,174 +1,249 @@
 package decwi
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/decwi/decwi/internal/core"
-	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // ParallelOptions parameterizes GenerateParallel: the GenerateOptions
-// workload plus sharding controls.
+// workload plus scheduling knobs. The knobs are pure execution policy —
+// every (Shards, Workers, ChunkWorkItems) choice yields output bitwise-
+// identical to Generate with the same GenerateOptions.
 type ParallelOptions struct {
 	GenerateOptions
-	// Shards is the number of independent engine shards the scenario
-	// axis is split into; each shard runs the configuration's full
-	// decoupled work-item pipeline over its scenario slice with its own
-	// split seed. 0 selects GOMAXPROCS. Clamped to Scenarios.
+	// Shards is the target chunk count the work-item axis is split
+	// into (the unit of work stealing). 0 selects GOMAXPROCS; clamped
+	// to [1, WorkItems]. Ignored when ChunkWorkItems is set.
 	Shards int
-	// Workers caps how many shards execute concurrently (a worker pool,
-	// not one goroutine per shard). 0 selects GOMAXPROCS.
+	// Workers caps how many chunks execute concurrently. 0 selects
+	// GOMAXPROCS; clamped to the chunk count.
 	Workers int
+	// ChunkWorkItems overrides the chunk size in work-items; 0 selects
+	// the even split ceil(WorkItems/Shards). Smaller chunks give the
+	// work-stealing cursor more opportunities to absorb rejection-
+	// sampling imbalance at slightly higher claim overhead.
+	ChunkWorkItems int
 }
 
-// ParallelResult is the sharded counterpart of GenerateResult.
+// ParallelResult carries the generated data and scheduler metadata.
 type ParallelResult struct {
-	// Values holds Scenarios·Sectors gamma variates in shard-major
-	// layout: shard s occupies Values[ShardOffsets[s]:ShardOffsets[s+1]]
-	// in that shard's device layout (per-work-item blocks).
+	// Values holds Scenarios·Sectors gamma variates in the engine's
+	// device layout — byte-for-byte the same slice content Generate
+	// produces for the same GenerateOptions.
 	Values []float32
-	// ShardOffsets has Shards+1 entries framing each shard's block.
-	ShardOffsets []int64
-	// Shards is the number of engine shards actually used.
-	Shards int
-	// WorkItems is the number of decoupled pipelines per shard.
+	// BlockOffsets has WorkItems+1 entries framing each work-item's
+	// contiguous block of Values (sector-major inside the block).
+	BlockOffsets []int64
+	// WorkItems is the number of decoupled pipelines generated.
 	WorkItems int
-	// RejectionRate is the scenario-weighted combined rate over shards.
+	// Chunks is the number of work-item chunks the run was split into.
+	Chunks int
+	// Workers is the number of scheduler workers actually used.
+	Workers int
+	// Steals counts chunks executed by a worker other than their
+	// static round-robin owner — the work the dynamic cursor moved to
+	// absorb rejection-sampling imbalance.
+	Steals int
+	// ChunkImbalance is the max/min chunk wall-time ratio (1 when
+	// fewer than two chunks ran). Static sharding would stall its
+	// fastest worker for (ChunkImbalance-1)/ChunkImbalance of the
+	// slowest chunk's time; work stealing does not.
+	ChunkImbalance float64
+	// RejectionRate is the observed combined rate (Eq. (1)'s r),
+	// identical to the sequential run's.
 	RejectionRate float64
+
+	sectors int
 }
 
-// Shard returns shard s's block of Values.
-func (r *ParallelResult) Shard(s int) []float32 {
-	return r.Values[r.ShardOffsets[s]:r.ShardOffsets[s+1]]
+// Sector returns every value of one sector across work-items — the
+// same per-sector marginal GenerateResult.Sector yields.
+func (r *ParallelResult) Sector(k int) []float32 {
+	out := make([]float32, 0, r.BlockOffsets[r.WorkItems]/int64(r.sectors))
+	for w := 0; w < r.WorkItems; w++ {
+		limitMain := (r.BlockOffsets[w+1] - r.BlockOffsets[w]) / int64(r.sectors)
+		start := r.BlockOffsets[w] + int64(k)*limitMain
+		out = append(out, r.Values[start:start+limitMain]...)
+	}
+	return out
 }
 
-// GenerateParallel runs configuration c as a pool of independent engine
-// shards, one host call saturating every simulated pipeline: the
-// scenario axis is split across Shards engines (each with the full
-// WorkItems decoupled pipelines and batched stream transport), executed
-// by a bounded worker pool.
+// parallelChunkFault, when non-nil, injects a failure before the given
+// chunk executes. Test hook for the cancellation path: rejection
+// sampling has no practical way to make a mid-run chunk fail naturally.
+var parallelChunkFault func(chunk int) error
+
+// GenerateParallel runs configuration c sharded by work-item — the
+// axis the paper proves is dependency-free. Each work-item's values
+// depend only on its own split seed (SplitMix64 stream splitting) and
+// its scenario quota, both fixed by the options alone, so chunks of
+// work-items can execute on any worker in any order and land directly
+// at their final device-layout offsets (zero-copy assembly).
 //
-// Output is deterministic for a given (Seed, Shards) pair regardless of
-// Workers and of goroutine scheduling: shard seeds come from
-// rng.StreamSeeds (SplitMix64 outputs, the same split discipline the
-// engine applies per work-item), and every shard writes only its own
-// pre-computed block. Sharded output is NOT the same value sequence as
-// Generate with identical options — each shard is an independent seeded
-// run — but it passes the same distributional validation.
+// Output is bitwise-identical to Generate with the same
+// GenerateOptions for every (Shards, Workers, ChunkWorkItems) choice
+// and any goroutine schedule. The scheduling knobs only decide how the
+// work-item axis is partitioned and claimed.
+//
+// Scheduling is work stealing over an atomic chunk cursor: rejection
+// sampling makes per-work-item runtime data-dependent (the paper's own
+// motivation for decoupling), so workers claim the next unclaimed
+// chunk as they finish rather than owning a static share. The first
+// chunk error cancels all outstanding work.
 func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) {
 	k, err := c.kernel()
 	if err != nil {
 		return nil, err
 	}
-	if opt.Shards < 0 {
-		return nil, fmt.Errorf("decwi: shards %d must be ≥ 0 (0 selects GOMAXPROCS)", opt.Shards)
+	opt, chunks, err := normalizeParallel(k, opt)
+	if err != nil {
+		return nil, err
 	}
-	if opt.Workers < 0 {
-		return nil, fmt.Errorf("decwi: workers %d must be ≥ 0 (0 selects GOMAXPROCS)", opt.Workers)
-	}
-	if opt.Scenarios < 1 {
-		return nil, fmt.Errorf("decwi: scenarios %d must be ≥ 1", opt.Scenarios)
-	}
-	if opt.Shards == 0 {
-		opt.Shards = runtime.GOMAXPROCS(0)
-	}
-	if int64(opt.Shards) > opt.Scenarios {
-		opt.Shards = int(opt.Scenarios)
-	}
-	if opt.Workers == 0 {
-		opt.Workers = runtime.GOMAXPROCS(0)
-	}
-	if opt.Workers > opt.Shards {
-		opt.Workers = opt.Shards
-	}
-	if opt.Variance == 0 && opt.Variances == nil {
-		opt.Variance = 1.39
-	}
-	if opt.Seed == 0 {
-		opt.Seed = 1
+
+	eng, err := core.NewEngine(engineConfig(k, opt.GenerateOptions))
+	if err != nil {
+		return nil, err
 	}
 	wi := opt.WorkItems
-	if wi == 0 {
-		wi = k.FPGAWorkItems
+	chunkWI := opt.ChunkWorkItems
+	offsets := eng.BlockOffsets()
+	values := make([]float32, offsets[wi])
+	stats := make([]core.WorkItemStats, wi)
+
+	rec := opt.Telemetry
+	cChunks := rec.Counter("parallel.chunks", "events",
+		"work-item chunks executed by the work-stealing scheduler")
+	cSteals := rec.Counter("parallel.steals", "events",
+		"chunks claimed by a worker other than their static owner")
+	stealLabel := rec.Intern("steal")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		cursor    atomic.Int64
+		steals    atomic.Int64
+		firstErr  atomic.Value // error
+		errOnce   sync.Once
+		chunkDur  = make([]int64, chunks) // wall ns per chunk
+		wg        sync.WaitGroup
+		workerSum = make([]int64, opt.Workers) // busy ns per worker
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr.Store(err)
+			cancel()
+		})
 	}
 
-	// Scenario split mirrors the engine's own work-item split: the
-	// remainder spreads over the leading shards.
-	counts := make([]int64, opt.Shards)
-	offsets := make([]int64, opt.Shards+1)
-	per := opt.Scenarios / int64(opt.Shards)
-	rem := opt.Scenarios % int64(opt.Shards)
-	for s := range counts {
-		counts[s] = per
-		if int64(s) < rem {
-			counts[s]++
-		}
-		offsets[s+1] = offsets[s] + counts[s]*int64(opt.Sectors)
-	}
-	seeds := rng.StreamSeeds(opt.Seed, opt.Shards)
-
-	values := make([]float32, offsets[opt.Shards])
-	type shardOut struct {
-		rate   float64
-		weight int64
-		err    error
-	}
-	outs := make([]shardOut, opt.Shards)
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for s := range jobs {
-				eng, err := core.NewEngine(core.Config{
-					Transform:         k.Transform,
-					MTParams:          k.MTParams,
-					WorkItems:         wi,
-					Scenarios:         counts[s],
-					Sectors:           opt.Sectors,
-					SectorVariance:    opt.Variance,
-					SectorVariances:   opt.Variances,
-					BurstRNs:          opt.BurstRNs,
-					Seed:              seeds[s],
-					PerValueTransport: opt.PerValueTransport,
-					GatedCompute:      opt.GatedCompute,
-				})
-				if err != nil {
-					outs[s].err = err
-					continue
+			track := rec.Track(fmt.Sprintf("parallel/worker[%d]", w), telemetry.Wall)
+			for {
+				chunk := int(cursor.Add(1) - 1)
+				if chunk >= chunks || ctx.Err() != nil {
+					return
 				}
-				run, err := eng.Run()
-				if err != nil {
-					outs[s].err = err
-					continue
+				lo := chunk * chunkWI
+				hi := lo + chunkWI
+				if hi > wi {
+					hi = wi
 				}
-				copy(values[offsets[s]:offsets[s+1]], run.Data)
-				outs[s] = shardOut{rate: run.CombinedRejectionRate(), weight: counts[s]}
+				stolen := chunk%opt.Workers != w
+				tsStart := track.Now()
+				start := time.Now()
+				err := parallelChunkFaultErr(chunk)
+				if err == nil {
+					err = eng.RunChunk(ctx, values, lo, hi, stats)
+				}
+				elapsed := time.Since(start).Nanoseconds()
+				chunkDur[chunk] = elapsed
+				workerSum[w] += elapsed
+				if stolen {
+					steals.Add(1)
+					cSteals.Add(1)
+					track.SpanL(telemetry.EvChunk, stealLabel, tsStart, track.Now(), int64(chunk))
+				} else {
+					track.Span(telemetry.EvChunk, tsStart, track.Now(), int64(chunk))
+				}
+				cChunks.Add(1)
+				if err != nil {
+					fail(fmt.Errorf("decwi: chunk %d (work-items [%d,%d)): %w", chunk, lo, hi, err))
+					return
+				}
 			}
-		}()
+		}(w)
 	}
-	for s := 0; s < opt.Shards; s++ {
-		jobs <- s
-	}
-	close(jobs)
 	wg.Wait()
 
-	var rate float64
-	for s, o := range outs {
-		if o.err != nil {
-			return nil, fmt.Errorf("decwi: shard %d: %w", s, o.err)
-		}
-		rate += o.rate * float64(o.weight)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
 	}
+
+	executed := int(cursor.Load())
+	if executed > chunks {
+		executed = chunks
+	}
+	imbalance := chunkImbalance(chunkDur[:executed])
+	if rec.Enabled() {
+		for w, ns := range workerSum {
+			rec.Counter(fmt.Sprintf("parallel.worker-busy[%d]", w), "ns",
+				"wall time this scheduler worker spent executing chunks").Add(ns)
+		}
+		rec.Counter("parallel.imbalance-x1000", "events",
+			"max/min chunk wall-time ratio ×1000 — the skew work stealing absorbed").Set(int64(imbalance * 1000))
+	}
+
 	return &ParallelResult{
-		Values:        values,
-		ShardOffsets:  offsets,
-		Shards:        opt.Shards,
-		WorkItems:     wi,
-		RejectionRate: rate / float64(opt.Scenarios),
+		Values:         values,
+		BlockOffsets:   offsets,
+		WorkItems:      wi,
+		Chunks:         chunks,
+		Workers:        opt.Workers,
+		Steals:         int(steals.Load()),
+		ChunkImbalance: imbalance,
+		RejectionRate:  core.CombineStats(stats),
+		sectors:        opt.Sectors,
 	}, nil
+}
+
+// parallelChunkFaultErr consults the test hook.
+func parallelChunkFaultErr(chunk int) error {
+	if parallelChunkFault == nil {
+		return nil
+	}
+	return parallelChunkFault(chunk)
+}
+
+// chunkImbalance returns the max/min chunk wall-time ratio, the
+// scheduler-level skew statistic. Sub-resolution (0 ns) chunks clamp
+// to 1 ns so tiny workloads do not divide by zero.
+func chunkImbalance(durs []int64) float64 {
+	if len(durs) < 2 {
+		return 1
+	}
+	min, max := durs[0], durs[0]
+	for _, d := range durs[1:] {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < 1 {
+		max = 1
+	}
+	return float64(max) / float64(min)
 }

@@ -1,160 +1,345 @@
 package decwi
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
-// TestGenerateParallelDeterministicAcrossWorkers: the (Seed, Shards)
-// pair pins the output; the worker count and goroutine scheduling must
-// not leak into the values.
-func TestGenerateParallelDeterministicAcrossWorkers(t *testing.T) {
-	base := ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 300, Sectors: 2, Seed: 7, WorkItems: 2},
-		Shards:          4,
+// bitwiseEqual fails the test at the first differing float32 slot.
+func bitwiseEqual(t *testing.T, label string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
 	}
-	run := func(workers int) []float32 {
-		opt := base
-		opt.Workers = workers
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d is %x, sequential Generate has %x", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGenerateParallelMatchesGenerate is the acceptance-criteria
+// matrix: for the four Table I configurations, every (Shards, Workers)
+// choice — including more shards than an even split supports and a
+// BreakID > 0 delayed exit — produces output bitwise-identical to the
+// sequential Generate, with identical layout and rejection metadata.
+func TestGenerateParallelMatchesGenerate(t *testing.T) {
+	for _, c := range AllConfigs {
+		opt := GenerateOptions{
+			Scenarios: 3000, Sectors: 2,
+			Variances: []float64{0.7, 2.2},
+			Seed:      0xDECA1, BreakID: 2,
+		}
+		seq, err := Generate(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("%v/shards=%d/workers=%d", c, shards, workers)
+				res, err := GenerateParallel(c, ParallelOptions{
+					GenerateOptions: opt, Shards: shards, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				bitwiseEqual(t, name, res.Values, seq.Values)
+				if res.RejectionRate != seq.RejectionRate {
+					t.Errorf("%s: rejection rate %v, sequential %v", name, res.RejectionRate, seq.RejectionRate)
+				}
+				if res.WorkItems != seq.WorkItems {
+					t.Errorf("%s: work-items %d, sequential %d", name, res.WorkItems, seq.WorkItems)
+				}
+				for k := 0; k < opt.Sectors; k++ {
+					bitwiseEqual(t, fmt.Sprintf("%s/sector%d", name, k), res.Sector(k), seq.Sector(k))
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateParallelTinyQuota: equality must hold when work-items get
+// quotas of 0 or 1 (Scenarios < WorkItems) — the edge the old
+// scenario-sharded runner clamped away.
+func TestGenerateParallelTinyQuota(t *testing.T) {
+	for _, scenarios := range []int64{1, 2, 3, 7} {
+		opt := GenerateOptions{Scenarios: scenarios, Sectors: 2, Seed: 5, BreakID: 1}
+		seq, err := Generate(Config4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := GenerateParallel(Config4, ParallelOptions{
+			GenerateOptions: opt, Shards: 4, Workers: 4,
+		})
+		if err != nil {
+			t.Fatalf("scenarios=%d: %v", scenarios, err)
+		}
+		bitwiseEqual(t, fmt.Sprintf("scenarios=%d", scenarios), res.Values, seq.Values)
+	}
+}
+
+// TestGenerateParallelChunkSizes: explicit chunk sizes, from per-work-
+// item singletons to one oversized chunk, never change the bytes.
+func TestGenerateParallelChunkSizes(t *testing.T) {
+	opt := GenerateOptions{Scenarios: 2000, Sectors: 3, Seed: 11}
+	seq, err := Generate(Config1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkWI := range []int{1, 2, 3, 5, 6, 100} {
+		res, err := GenerateParallel(Config1, ParallelOptions{
+			GenerateOptions: opt, Workers: 3, ChunkWorkItems: chunkWI,
+		})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunkWI, err)
+		}
+		bitwiseEqual(t, fmt.Sprintf("chunk=%d", chunkWI), res.Values, seq.Values)
+		size := min(chunkWI, res.WorkItems)
+		if want := (res.WorkItems + size - 1) / size; res.Chunks != want {
+			t.Errorf("chunk=%d: %d chunks, want %d", chunkWI, res.Chunks, want)
+		}
+	}
+}
+
+// TestGenerateParallelProperty is the testing/quick sweep: random
+// configuration, workload and scheduling choices always reproduce the
+// sequential bytes.
+func TestGenerateParallelProperty(t *testing.T) {
+	prop := func(cfgSel, seed uint64, scen uint16, sectors, shards, workers, chunk uint8) bool {
+		c := AllConfigs[cfgSel%uint64(len(AllConfigs))]
+		opt := GenerateOptions{
+			Scenarios: int64(scen%4096) + 1,
+			Sectors:   int(sectors%3) + 1,
+			Seed:      seed,
+			BreakID:   int(seed % 3),
+		}
+		seq, err := Generate(c, opt)
+		if err != nil {
+			t.Logf("Generate: %v", err)
+			return false
+		}
+		res, err := GenerateParallel(c, ParallelOptions{
+			GenerateOptions: opt,
+			Shards:          int(shards % 9),
+			Workers:         int(workers % 5),
+			ChunkWorkItems:  int(chunk % 4),
+		})
+		if err != nil {
+			t.Logf("GenerateParallel: %v", err)
+			return false
+		}
+		if len(res.Values) != len(seq.Values) {
+			return false
+		}
+		for i := range seq.Values {
+			if res.Values[i] != seq.Values[i] {
+				t.Logf("value %d: parallel %x sequential %x", i, res.Values[i], seq.Values[i])
+				return false
+			}
+		}
+		return res.RejectionRate == seq.RejectionRate
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateParallelStealStress hammers the work-stealing cursor:
+// single-work-item chunks, more workers than cores, many repetitions,
+// GOMAXPROCS pinned to 4 so the race detector (the tree-wide -race
+// gate runs this file) sees real interleaving. Every repetition must
+// produce the same bytes.
+func TestGenerateParallelStealStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	opt := ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 900, Sectors: 2, Seed: 21},
+		Workers:         4, ChunkWorkItems: 1,
+	}
+	first, err := GenerateParallel(Config2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := 20
+	if testing.Short() {
+		reps = 5
+	}
+	for rep := 0; rep < reps; rep++ {
 		res, err := GenerateParallel(Config2, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Values
-	}
-	a, b, c := run(1), run(3), run(4)
-	if len(a) != 300*2 {
-		t.Fatalf("len = %d, want %d", len(a), 300*2)
-	}
-	for i := range a {
-		if a[i] != b[i] || a[i] != c[i] {
-			t.Fatalf("Values[%d] differs across worker counts: %v %v %v", i, a[i], b[i], c[i])
-		}
+		bitwiseEqual(t, fmt.Sprintf("rep=%d", rep), res.Values, first.Values)
 	}
 }
 
-// TestGenerateParallelShardLayout checks the shard-major framing: the
-// offsets cover Values exactly, remainders spread over leading shards,
-// and Shard(s) views line up.
-func TestGenerateParallelShardLayout(t *testing.T) {
-	res, err := GenerateParallel(Config4, ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 101, Sectors: 3, Seed: 9, WorkItems: 2},
-		Shards:          4, Workers: 2,
+// TestGenerateParallelCancelOnFault: a chunk failure mid-run cancels
+// the outstanding chunks promptly — the run returns the first error
+// without draining the remaining work, and no scheduler goroutine
+// outlives the call.
+func TestGenerateParallelCancelOnFault(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var executed atomic.Int64
+	parallelChunkFault = func(chunk int) error {
+		if executed.Add(1) == 2 {
+			return fmt.Errorf("injected fault in chunk %d", chunk)
+		}
+		return nil
+	}
+	defer func() { parallelChunkFault = nil }()
+
+	_, err := GenerateParallel(Config3, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 4000, Sectors: 2, Seed: 9},
+		Workers:         2, ChunkWorkItems: 1,
 	})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("faulted run returned %v, want injected fault", err)
 	}
-	if res.Shards != 4 || len(res.ShardOffsets) != 5 {
-		t.Fatalf("shards=%d offsets=%d", res.Shards, len(res.ShardOffsets))
+	// The scheduler cancels on first failure: with 8 single-work-item
+	// chunks and the fault injected on the second claim, the remaining
+	// chunks must never start.
+	if n := executed.Load(); n >= 8 {
+		t.Errorf("fault did not cancel outstanding chunks: %d of 8 claimed", n)
 	}
-	// 101 = 26+25+25+25 scenarios, ×3 sectors.
-	want := []int64{0, 78, 153, 228, 303}
-	for i, o := range res.ShardOffsets {
-		if o != want[i] {
-			t.Fatalf("ShardOffsets = %v, want %v", res.ShardOffsets, want)
+	// All workers are joined before GenerateParallel returns; allow the
+	// runtime a moment to retire exiting goroutines.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
 		}
-	}
-	if int64(len(res.Values)) != want[4] {
-		t.Fatalf("len(Values) = %d, want %d", len(res.Values), want[4])
-	}
-	total := 0
-	for s := 0; s < res.Shards; s++ {
-		total += len(res.Shard(s))
-	}
-	if total != len(res.Values) {
-		t.Fatalf("shard views cover %d of %d values", total, len(res.Values))
+		if i > 50 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
-// TestGenerateParallelDistribution: sharded output passes the same KS
-// validation as the sequential path — independent shard seeds must not
-// distort the marginal.
-func TestGenerateParallelDistribution(t *testing.T) {
-	const variance = 1.39
-	res, err := GenerateParallel(Config1, ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 4096, Sectors: 2, Variance: variance, Seed: 11, WorkItems: 2},
-		Shards:          4, Workers: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, p, err := ValidateGamma(res.Values, variance)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if p < 0.01 {
-		t.Fatalf("KS p-value %g too small: sharded output not Gamma-distributed", p)
-	}
-	if res.RejectionRate <= 0 || res.RejectionRate >= 1 {
-		t.Fatalf("weighted rejection rate %g out of range", res.RejectionRate)
-	}
-}
-
-// TestGenerateParallelTransportEquivalence extends the tentpole
-// guarantee to the sharded runner: batched and per-value transport give
-// bitwise-identical sharded output.
-func TestGenerateParallelTransportEquivalence(t *testing.T) {
-	base := ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 500, Sectors: 2, Seed: 13, WorkItems: 2},
-		Shards:          3, Workers: 2,
-	}
-	run := func(perValue bool) []float32 {
-		opt := base
-		opt.PerValueTransport = perValue
-		res, err := GenerateParallel(Config3, opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Values
-	}
-	a, b := run(false), run(true)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("Values[%d]: batched %v, per-value %v", i, a[i], b[i])
-		}
-	}
-}
-
-// TestGenerateParallelValidation: option errors are rejected up front
-// and shard failures carry the shard index.
+// TestGenerateParallelValidation rejects malformed scheduling knobs and
+// workloads up front.
 func TestGenerateParallelValidation(t *testing.T) {
-	good := ParallelOptions{GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1, WorkItems: 1}}
-	if _, err := GenerateParallel(Config1, good); err != nil {
-		t.Fatalf("good options rejected: %v", err)
-	}
+	good := GenerateOptions{Scenarios: 64, Sectors: 1}
 	for name, opt := range map[string]ParallelOptions{
-		"negative shards":  {GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1}, Shards: -1},
-		"negative workers": {GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 1}, Workers: -2},
+		"negative shards":  {GenerateOptions: good, Shards: -1},
+		"negative workers": {GenerateOptions: good, Workers: -2},
+		"negative chunk":   {GenerateOptions: good, ChunkWorkItems: -1},
 		"zero scenarios":   {GenerateOptions: GenerateOptions{Sectors: 1}},
+		"negative work-items": {GenerateOptions: GenerateOptions{
+			Scenarios: 64, Sectors: 1, WorkItems: -3,
+		}},
 	} {
 		if _, err := GenerateParallel(Config1, opt); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
-	if _, err := GenerateParallel(ConfigID(99), good); err == nil {
-		t.Error("unknown config: expected error")
-	}
-	// A shard-level engine failure names the shard.
-	bad := ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 64, Sectors: 2, Variances: []float64{1, 0}, WorkItems: 1},
-		Shards:          2,
-	}
-	if _, err := GenerateParallel(Config1, bad); err == nil || !strings.Contains(err.Error(), "shard") {
-		t.Errorf("shard failure error = %v, want shard-indexed error", err)
+	if _, err := GenerateParallel(Config1, ParallelOptions{GenerateOptions: good}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
 	}
 }
 
-// TestGenerateParallelShardsClampedToScenarios: more shards than
-// scenarios degrades gracefully instead of producing empty engines.
-func TestGenerateParallelShardsClampedToScenarios(t *testing.T) {
+// TestGenerateParallelDefaultsMatchGenerate: the zero-value scheduling
+// knobs (GOMAXPROCS everything) still reproduce the sequential bytes —
+// the default path users actually hit.
+func TestGenerateParallelDefaultsMatchGenerate(t *testing.T) {
+	opt := GenerateOptions{Scenarios: 1500, Sectors: 2}
+	seq, err := Generate(Config2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateParallel(Config2, ParallelOptions{GenerateOptions: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "defaults", res.Values, seq.Values)
+	if res.Workers < 1 || res.Chunks < 1 {
+		t.Errorf("scheduler metadata not populated: %+v", res)
+	}
+}
+
+// TestGenerateParallelTelemetry: the scheduler surfaces its chunk,
+// steal and imbalance accounting through the recorder, and the
+// recorded EvChunk spans cover every chunk exactly once.
+func TestGenerateParallelTelemetry(t *testing.T) {
+	rec := telemetry.New(0)
 	res, err := GenerateParallel(Config1, ParallelOptions{
-		GenerateOptions: GenerateOptions{Scenarios: 3, Sectors: 1, WorkItems: 1},
-		Shards:          8,
+		GenerateOptions: GenerateOptions{
+			Scenarios: 1200, Sectors: 2, Seed: 3, Telemetry: rec,
+		},
+		Workers: 2, ChunkWorkItems: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Shards != 3 || len(res.Values) != 3 {
-		t.Fatalf("shards=%d len=%d, want 3, 3", res.Shards, len(res.Values))
+	counters := map[string]int64{}
+	for _, c := range rec.Counters() {
+		counters[c.Name()] = c.Value()
+	}
+	if got := counters["parallel.chunks"]; got != int64(res.Chunks) {
+		t.Errorf("parallel.chunks = %d, result reports %d", got, res.Chunks)
+	}
+	if got := counters["parallel.steals"]; got != int64(res.Steals) {
+		t.Errorf("parallel.steals = %d, result reports %d", got, res.Steals)
+	}
+	if _, ok := counters["parallel.imbalance-x1000"]; !ok {
+		t.Error("parallel.imbalance-x1000 counter missing")
+	}
+	if res.ChunkImbalance < 1 {
+		t.Errorf("chunk imbalance %v < 1", res.ChunkImbalance)
+	}
+	var busy int64
+	for name, v := range counters {
+		if strings.HasPrefix(name, "parallel.worker-busy[") {
+			busy += v
+		}
+	}
+	if busy <= 0 {
+		t.Error("no parallel.worker-busy[*] time recorded")
+	}
+	seen := map[int64]int{}
+	for _, ev := range rec.Events() {
+		if ev.Kind == telemetry.EvChunk {
+			seen[ev.Arg]++
+		}
+	}
+	for chunk := 0; chunk < res.Chunks; chunk++ {
+		if seen[int64(chunk)] != 1 {
+			t.Errorf("chunk %d has %d EvChunk spans, want 1", chunk, seen[int64(chunk)])
+		}
+	}
+}
+
+// TestGenerateParallelTelemetryDoesNotPerturb extends the telemetry
+// non-perturbation guarantee to the parallel path: tracing changes no
+// byte of the output.
+func TestGenerateParallelTelemetryDoesNotPerturb(t *testing.T) {
+	base := ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 2200, Sectors: 2, Seed: 13, BreakID: 1},
+		Workers:         2, ChunkWorkItems: 2,
+	}
+	plain, err := GenerateParallel(Config3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base
+	traced.Telemetry = telemetry.New(0)
+	got, err := GenerateParallel(Config3, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "traced", got.Values, plain.Values)
+	if got.RejectionRate != plain.RejectionRate {
+		t.Errorf("tracing changed the rejection rate: %v vs %v", got.RejectionRate, plain.RejectionRate)
+	}
+	if total, _ := traced.Telemetry.Emitted(); total == 0 {
+		t.Error("traced run recorded no events")
 	}
 }

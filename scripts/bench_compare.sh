@@ -1,0 +1,87 @@
+#!/bin/sh
+# Diff two bench_json.sh baselines (e.g. BENCH_3.json vs BENCH_4.json)
+# with per-benchmark % deltas and a configurable regression threshold.
+#
+# A benchmark regresses when its mb_per_s drops by more than the
+# threshold, or — for benchmarks without a throughput metric — its
+# ns_per_op rises by more than the threshold. Benchmarks present in
+# only one file are listed informationally and never fail the gate.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [threshold_pct]
+#   threshold_pct defaults to 5.
+#   BENCH_COMPARE_WARN_ONLY=1 reports regressions without failing
+#   (for cross-machine or informational diffs).
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold_pct]" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+thr="${3:-5}"
+warn_only="${BENCH_COMPARE_WARN_ONLY:-0}"
+
+for f in "$old" "$new"; do
+    [ -f "$f" ] || { echo "bench_compare: $f not found" >&2; exit 2; }
+done
+
+echo "bench_compare: $old -> $new (regression threshold ${thr}%)"
+
+awk -v thr="$thr" -v warn_only="$warn_only" '
+function getnum(line, key,    m) {
+    if (match(line, "\"" key "\": [0-9.]+")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub(/.*: /, "", m)
+        return m
+    }
+    return ""
+}
+function getname(line) {
+    if (match(line, /"name": "[^"]+"/))
+        return substr(line, RSTART + 9, RLENGTH - 10)
+    return ""
+}
+FNR == NR {
+    name = getname($0)
+    if (name != "") {
+        in_old[name] = 1
+        old_ns[name] = getnum($0, "ns_per_op")
+        old_mb[name] = getnum($0, "mb_per_s")
+    }
+    next
+}
+{
+    name = getname($0)
+    if (name == "") next
+    ns = getnum($0, "ns_per_op")
+    mb = getnum($0, "mb_per_s")
+    if (!(name in in_old)) {
+        printf "  %-58s %27s\n", name, "NEW (no baseline)"
+        next
+    }
+    seen[name] = 1
+    if (mb != "" && old_mb[name] != "") {
+        d = 100 * (mb - old_mb[name]) / old_mb[name]
+        flag = ""
+        if (d < -thr) { flag = "  << REGRESSION"; bad++ }
+        printf "  %-58s %7.2f -> %7.2f MB/s %+7.1f%%%s\n", name, old_mb[name], mb, d, flag
+    } else if (ns != "" && old_ns[name] != "") {
+        d = 100 * (ns - old_ns[name]) / old_ns[name]
+        flag = ""
+        if (d > thr) { flag = "  << REGRESSION"; bad++ }
+        printf "  %-58s %9.0f -> %9.0f ns/op %+6.1f%%%s\n", name, old_ns[name], ns, d, flag
+    }
+}
+END {
+    for (n in in_old)
+        if (!(n in seen))
+            printf "  %-58s %27s\n", n, "DROPPED (baseline only)"
+    if (bad > 0) {
+        printf "bench_compare: %d benchmark(s) regressed beyond %s%%\n", bad, thr
+        if (warn_only != "1") exit 1
+        printf "bench_compare: warn-only mode, not failing\n"
+    } else {
+        printf "bench_compare: no regression beyond %s%%\n", thr
+    }
+}' "$old" "$new"

@@ -1,14 +1,16 @@
 #!/bin/sh
 # Machine-readable benchmark baseline: runs the engine-throughput and
-# compute-path benchmarks and writes BENCH_3.json at the repository root
+# compute-path benchmarks and writes BENCH_4.json at the repository root
 # (MB/s and ns per generated float32 value for Config1-4 on both compute
-# paths, plus the telemetry-overhead and transport/sharding ablations).
+# paths, plus the telemetry-overhead and transport/sharding ablations —
+# including the work-item-sharded parallel scheduler variants).
 # Committed baselines let later PRs diff throughput without re-running
-# the old tree. Usage: scripts/bench_json.sh [output.json]
+# the old tree; diff two baselines with scripts/bench_compare.sh.
+# Usage: scripts/bench_json.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -29,11 +29,29 @@ echo "== zero-allocation gates (steady-state block loops)"
 go test -run 'TestSteadyStateBlockZeroAllocs|TestFillUint32ZeroAlloc|TestFillNormalZeroAlloc' \
     ./internal/rng/gamma ./internal/rng/mt ./internal/rng/normal
 
+# Parallel-equivalence suite under both a single-core and a multicore
+# scheduler: GOMAXPROCS=1 exercises the sequential claim order,
+# GOMAXPROCS=4 multiplexes the work-stealing cursor so the race
+# detector sees real chunk-claim interleavings. Both must reproduce
+# the sequential bytes (the GenerateParallel == Generate contract).
+echo "== parallel equivalence under GOMAXPROCS=1 and GOMAXPROCS=4 (-race)"
+GOMAXPROCS=1 go test -race -count=1 \
+    -run 'TestGenerateParallel|TestRunChunk|TestNormalize' . ./internal/core
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestGenerateParallel|TestRunChunk|TestNormalize' . ./internal/core
+
 # Benchmark smoke run: one iteration each, so the burst-transport,
 # sharded-generation and compute-path benchmarks can never silently rot.
 echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel, BenchmarkBlockCompute)"
 go test -run '^$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
 go test -run '^$' -bench BenchmarkGenerateParallel -benchtime 1x .
 go test -run '^$' -bench BenchmarkBlockCompute -benchtime 1x .
+
+# Baseline-diff smoke: the self-compare must always be delta-free, so
+# the comparer itself can never silently rot; the BENCH_3 -> BENCH_4
+# cross-PR diff is informational (different machines, different trees).
+echo "== bench_compare smoke (self-diff + informational cross-baseline diff)"
+sh scripts/bench_compare.sh BENCH_4.json BENCH_4.json
+BENCH_COMPARE_WARN_ONLY=1 sh scripts/bench_compare.sh BENCH_3.json BENCH_4.json
 
 echo "tier-1 gate: OK"

@@ -78,25 +78,16 @@ func (s *Session) EnqueueGamma(c ConfigID, opt GenerateOptions, hostCombine bool
 	if err != nil {
 		return nil, err
 	}
-	if opt.Variance == 0 && opt.Variances == nil {
-		opt.Variance = 1.39
+	opt, err = normalizeGenerate(k, opt)
+	if err != nil {
+		return nil, err
 	}
-	if opt.Seed == 0 {
-		opt.Seed = 1
+	if opt.Telemetry == nil {
+		opt.Telemetry = s.tel
 	}
 	wi := opt.WorkItems
-	if wi == 0 {
-		wi = k.FPGAWorkItems
-	}
 
-	eng, err := core.NewEngine(core.Config{
-		Transform: k.Transform, MTParams: k.MTParams, WorkItems: wi,
-		Scenarios: opt.Scenarios, Sectors: opt.Sectors,
-		SectorVariance: opt.Variance, SectorVariances: opt.Variances,
-		BurstRNs: opt.BurstRNs, Seed: opt.Seed,
-		PerValueTransport: opt.PerValueTransport,
-		Telemetry:         s.tel,
-	})
+	eng, err := core.NewEngine(engineConfig(k, opt))
 	if err != nil {
 		return nil, err
 	}
