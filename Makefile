@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke metrics-smoke trace clean
 
-check: vet build race bench-smoke bench-compare-smoke
+check: vet build race bench-smoke bench-compare-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
 	$(GO) test -run '^$$' -bench BenchmarkGenerateParallel -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkBlockCompute -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkHistogramRecord -benchtime 1x ./internal/telemetry
+
+# Live metrics smoke: scrape a running decwi-gammagen -http server and
+# validate the Prometheus exposition with the in-repo checker.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # Smoke-test the tracing CLI (artifacts land in the working directory).
 trace:

@@ -14,6 +14,8 @@ import (
 	"sort"
 
 	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
@@ -26,15 +28,30 @@ func main() {
 	cfgNum := flag.Int("config", 2, "gamma kernel configuration (1-4)")
 	band := flag.Float64("band", 0, "exposure banding unit for the exact Panjer cross-check (0 = skip)")
 	seed := flag.Uint64("seed", 1, "master seed")
+	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
 	flag.Parse()
 
-	if err := run(*sectors, *variance, *obligors, *pd, *exposure, *scenarios, *cfgNum, *band, *seed); err != nil {
+	var rec *telemetry.Recorder
+	if *httpAddr != "" {
+		rec = telemetry.New(0)
+	}
+	stopMetrics, err := metricsrv.StartForCLI("decwi-creditrisk", *httpAddr, *httpLinger, rec)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-creditrisk: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*sectors, *variance, *obligors, *pd, *exposure, *scenarios, *cfgNum, *band, *seed, rec)
+	if err := stopMetrics(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "decwi-creditrisk: %v\n", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(sectors int, variance float64, obligors int, pd, exposure float64, scenarios, cfgNum int, band float64, seed uint64) error {
+func run(sectors int, variance float64, obligors int, pd, exposure float64, scenarios, cfgNum int, band float64, seed uint64, rec *telemetry.Recorder) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("config %d outside 1-4", cfgNum)
 	}
@@ -42,7 +59,7 @@ func run(sectors int, variance float64, obligors int, pd, exposure float64, scen
 	if err != nil {
 		return err
 	}
-	rep, err := decwi.PortfolioRisk(p, decwi.ConfigID(cfgNum), scenarios, band, seed)
+	rep, err := decwi.PortfolioRiskObserved(p, decwi.ConfigID(cfgNum), scenarios, band, seed, rec)
 	if err != nil {
 		return err
 	}

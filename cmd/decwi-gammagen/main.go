@@ -19,6 +19,8 @@ import (
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/profiling"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func main() {
 	validate := flag.Bool("validate", true, "run the KS validation and report it on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -43,8 +47,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
 		os.Exit(1)
 	}
+	var rec *telemetry.Recorder
+	if *httpAddr != "" {
+		rec = telemetry.New(0)
+	}
+	stopMetrics, err := metricsrv.StartForCLI("decwi-gammagen", *httpAddr, *httpLinger, rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
+		os.Exit(1)
+	}
 	runErr := run(*cfgNum, *n, *variance, *workItems, *seed, *gated,
-		*parallel, *shards, *workers, *out, *text, *validate)
+		*parallel, *shards, *workers, *out, *text, *validate, rec)
+	if err := stopMetrics(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -55,7 +71,7 @@ func main() {
 }
 
 func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gated bool,
-	parallel bool, shards, workers int, out string, text, validate bool) error {
+	parallel bool, shards, workers int, out string, text, validate bool, rec *telemetry.Recorder) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("config %d outside 1-4", cfgNum)
 	}
@@ -66,6 +82,7 @@ func run(cfgNum int, n int64, variance float64, workItems int, seed uint64, gate
 	gopt := decwi.GenerateOptions{
 		Scenarios: n, Sectors: 1, Variance: variance,
 		WorkItems: workItems, Seed: seed, GatedCompute: gated,
+		Telemetry: rec,
 	}
 	// Both paths produce the same bytes for the same options; -parallel
 	// only changes how the work-item axis is scheduled onto the host.

@@ -14,11 +14,28 @@ import (
 	"os"
 
 	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
 	cfgNum := flag.Int("config", 0, "configuration to sweep (1-4; 0 = all)")
+	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
 	flag.Parse()
+
+	var rec *telemetry.Recorder
+	if *httpAddr != "" {
+		rec = telemetry.New(0)
+	}
+	stopMetrics, err := metricsrv.StartForCLI("decwi-pnr", *httpAddr, *httpLinger, rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-pnr: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopMetrics()
+	cPlacements := rec.Counter("pnr.placements", "events",
+		"place-and-route attempts evaluated across the sweep")
 
 	configs := decwi.AllConfigs
 	if *cfgNum != 0 {
@@ -34,6 +51,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "decwi-pnr: %v\n", err)
 			os.Exit(1)
 		}
+		cPlacements.Add(int64(len(rows)))
 		info, err := c.Describe()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "decwi-pnr: %v\n", err)

@@ -1,0 +1,77 @@
+// Command decwi-promcheck fetches a Prometheus text exposition from a
+// decwi observability server and validates it: HELP/TYPE headers,
+// histogram cumulative-bucket monotonicity and +Inf == _count, plus a
+// minimum family count per instrument type. The check.sh metrics smoke
+// step drives it against a live decwi-gammagen -http run, so the gate
+// needs no external scraper.
+//
+// Usage:
+//
+//	decwi-promcheck -url http://127.0.0.1:9090/metrics
+//	decwi-promcheck -url http://...:9090/metrics -min-counters 5 -min-gauges 1 -min-histograms 1
+//	decwi-promcheck -url http://...:9090/healthz -healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
+)
+
+func main() {
+	url := flag.String("url", "", "metrics endpoint to fetch (required)")
+	minCounters := flag.Int("min-counters", 1, "fail unless at least this many counter families are present")
+	minGauges := flag.Int("min-gauges", 1, "fail unless at least this many gauge families are present")
+	minHists := flag.Int("min-histograms", 1, "fail unless at least this many histogram families are present")
+	healthz := flag.Bool("healthz", false, "treat the URL as a liveness probe: require 200 and body \"ok\"")
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "decwi-promcheck: -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-promcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, minCounters, minGauges, minHists int, healthz bool, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if healthz {
+		if got := string(body); got != "ok\n" {
+			return fmt.Errorf("healthz body %q, want \"ok\\n\"", got)
+		}
+		fmt.Printf("decwi-promcheck: OK — %s healthy\n", url)
+		return nil
+	}
+	counters, gauges, hists, err := metricsrv.CheckExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	if counters < minCounters || gauges < minGauges || hists < minHists {
+		return fmt.Errorf("family counts too low: %d counters (min %d), %d gauges (min %d), %d histograms (min %d)",
+			counters, minCounters, gauges, minGauges, hists, minHists)
+	}
+	fmt.Printf("decwi-promcheck: OK — %d counter, %d gauge, %d histogram families\n", counters, gauges, hists)
+	return nil
+}

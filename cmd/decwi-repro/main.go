@@ -21,6 +21,8 @@ import (
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/profiling"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed for the measured quantities")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
 	flag.Parse()
 	csvMode = *csvOut
 
@@ -46,10 +50,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
 		os.Exit(1)
 	}
+	if *httpAddr != "" {
+		metricsRec = telemetry.New(0)
+	}
+	stopMetrics, err := metricsrv.StartForCLI("decwi-repro", *httpAddr, *httpLinger, metricsRec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
+		os.Exit(1)
+	}
 	run := func(name string, f func() error) {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "decwi-repro: %s: %v\n", name, err)
-			stopProfiles() // os.Exit skips defers; flush the profiles first
+			stopMetrics() // os.Exit skips defers; shut the server and flush
+			stopProfiles() // the profiles first
 			os.Exit(1)
 		}
 	}
@@ -127,6 +140,10 @@ func main() {
 	if *all || *parallel {
 		run("parallel", func() error { return printParallel(*seed) })
 	}
+	if err := stopMetrics(); err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
+		os.Exit(1)
+	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
 		os.Exit(1)
@@ -135,6 +152,10 @@ func main() {
 
 // csvMode switches the table printers to machine-readable output.
 var csvMode bool
+
+// metricsRec is non-nil when -http asked for the observability server;
+// the measurement passes that support live metrics thread it through.
+var metricsRec *telemetry.Recorder
 
 func printCoSim(seed uint64) error {
 	fmt.Println("Cycle-accurate dataflow co-simulation (Fig. 3 interleaving / regime check)")
@@ -182,6 +203,9 @@ func printParallel(seed uint64) error {
 		}
 		seqDur := time.Since(t0)
 		t0 = time.Now()
+		// Only the parallel pass is instrumented: timing the sequential
+		// baseline with telemetry attached would bias the speedup ratio.
+		opt.Telemetry = metricsRec
 		par, err := decwi.GenerateParallel(c, decwi.ParallelOptions{GenerateOptions: opt})
 		if err != nil {
 			return err

@@ -19,11 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/fpga"
 	"github.com/decwi/decwi/internal/perf"
 	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
@@ -40,11 +42,13 @@ func main() {
 	tracePath := flag.String("trace", "decwi-trace.json", "output path for the Chrome trace_event JSON")
 	reportPath := flag.String("report", "", "output path for the stall-attribution report (default: stdout)")
 	ringCap := flag.Int("events", telemetry.DefaultRingCap, "event ring capacity (oldest events overwritten beyond this)")
+	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
 	flag.Parse()
 
 	if err := run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
 		*cosimQuota, *tracePath, *reportPath, *ringCap,
-		*parallel, *shards, *workers, *chunkWI); err != nil {
+		*parallel, *shards, *workers, *chunkWI, *httpAddr, *httpLinger); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-trace: %v\n", err)
 		os.Exit(1)
 	}
@@ -52,7 +56,7 @@ func main() {
 
 func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 	cosimQuota int64, tracePath, reportPath string, ringCap int,
-	parallel bool, shards, workers, chunkWI int) error {
+	parallel bool, shards, workers, chunkWI int, httpAddr string, httpLinger time.Duration) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("-config must be 1..4, got %d", cfgNum)
 	}
@@ -65,6 +69,11 @@ func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 	k := kernels[cfgNum-1]
 
 	rec := telemetry.New(ringCap)
+	stopMetrics, err := metricsrv.StartForCLI("decwi-trace", httpAddr, httpLinger, rec)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	// Pass 1: the full OpenCL host path — command-queue spans, dataflow
 	// process lifecycles, hls::stream blocking, per-work-item rejection

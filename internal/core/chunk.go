@@ -74,6 +74,10 @@ func (e *Engine) runWorkItemFused(ctx context.Context, wid int, dst []float32, s
 
 	gen := getGenerator(cfg.Transform, cfg.MTParams,
 		gamma.MustFromVariance(cfg.variance(0)), e.seeds[wid])
+	// (Re)attach this run's trip histogram: the pooled generator may carry
+	// one from a previous run's recorder, and with telemetry off this
+	// detaches it.
+	e.instrumentTrips(gen)
 	defer putGenerator(cfg.Transform, cfg.MTParams, gen)
 
 	off := e.offsets[wid]

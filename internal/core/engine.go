@@ -255,6 +255,7 @@ func (e *Engine) Run() (*RunResult, error) {
 
 		gen := gamma.NewGenerator(cfg.Transform, cfg.MTParams,
 			gamma.MustFromVariance(cfg.variance(0)), wiSeeds[wid])
+		e.instrumentTrips(gen)
 
 		procs = append(procs,
 			hls.Process{
@@ -280,6 +281,34 @@ func (e *Engine) Run() (*RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// transformSlug lowercases a transform name into a metric-name-safe
+// instance label: "ICDF FPGA-style" → "icdf-fpga-style".
+func transformSlug(k normal.Kind) string {
+	s := []byte(k.String())
+	for i, c := range s {
+		switch {
+		case c >= 'A' && c <= 'Z':
+			s[i] = c + ('a' - 'A')
+		case (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'):
+		default:
+			s[i] = '-'
+		}
+	}
+	return string(s)
+}
+
+// instrumentTrips attaches (or, with telemetry off, detaches) the
+// per-transform rejection-trip histogram to a generator. All work-items
+// of a run share the transform, so they share one histogram — the
+// distribution the paper's Sec. IV-E rejection rates summarize. Pooled
+// generators go through this on every acquisition, so a histogram from
+// an earlier run can never leak into the next (see getGenerator).
+func (e *Engine) instrumentTrips(gen *gamma.Generator) {
+	gen.InstrumentTrips(e.cfg.Telemetry.Histogram(
+		"rng.gamma.trips["+transformSlug(e.cfg.Transform)+"]", "trips",
+		"pipeline iterations per accepted gamma output (nested rejection-loop trip count)"))
 }
 
 // blockCycles is the attempts-per-batch of the block compute path: big

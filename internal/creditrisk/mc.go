@@ -9,6 +9,7 @@ import (
 	"github.com/decwi/decwi/internal/rng/gamma"
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // Poisson draws a Poisson(λ) variate with Knuth's multiplication method,
@@ -51,6 +52,11 @@ type MCConfig struct {
 	MTParams  mt.Params
 	// Seed drives all randomness.
 	Seed uint64
+	// Telemetry, when non-nil, receives live run metrics: a scenario
+	// progress counter, per-sector rejection-trip histograms from the
+	// gamma generators and a per-scenario default-count histogram. A nil
+	// recorder leaves the simulation loop uninstrumented.
+	Telemetry *telemetry.Recorder
 }
 
 // MCResult is the simulated loss distribution and its summaries.
@@ -86,8 +92,15 @@ func SimulateMC(p *Portfolio, cfg MCConfig) (*MCResult, error) {
 	gens := make([]*gamma.Generator, len(p.Sectors))
 	for k, s := range p.Sectors {
 		gens[k] = gamma.NewGenerator(cfg.Transform, cfg.MTParams, gamma.MustFromVariance(s.Variance), seeds[k])
+		gens[k].InstrumentTrips(cfg.Telemetry.Histogram(
+			fmt.Sprintf("rng.gamma.trips[sector-%d]", k), "trips",
+			"pipeline iterations per accepted gamma output (nested rejection-loop trip count)"))
 	}
 	psrc := mt.New(cfg.MTParams, seeds[len(p.Sectors)])
+	cScenarios := cfg.Telemetry.Counter("creditrisk.scenarios", "events",
+		"Monte-Carlo economy scenarios completed")
+	hDefaults := cfg.Telemetry.Histogram("creditrisk.defaults", "events",
+		"obligor defaults per scenario")
 
 	res := &MCResult{
 		Losses:     make([]float64, cfg.Scenarios),
@@ -100,6 +113,7 @@ func SimulateMC(p *Portfolio, cfg MCConfig) (*MCResult, error) {
 			res.SectorMean[k] += sVals[k]
 		}
 		var loss float64
+		var defaults int64
 		for i := range p.Obligors {
 			o := &p.Obligors[i]
 			r := 0.0
@@ -114,9 +128,12 @@ func SimulateMC(p *Portfolio, cfg MCConfig) (*MCResult, error) {
 			}
 			if n > 0 {
 				loss += float64(n) * o.Exposure
+				defaults += n
 			}
 		}
 		res.Losses[s] = loss
+		cScenarios.Add(1)
+		hDefaults.Record(defaults)
 	}
 	for k := range res.SectorMean {
 		res.SectorMean[k] /= float64(cfg.Scenarios)

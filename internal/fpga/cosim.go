@@ -154,6 +154,12 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 	cBursts := rec.Counter("cosim.bursts", "events", "bursts granted by the channel arbiter")
 	cValues := rec.Counter("cosim.burst-values", "values",
 		"payload values landed in device memory, bulk-counted per completed burst")
+	hBurst := rec.Histogram("cosim.burst-size", "values",
+		"payload values per completed burst (tail bursts run short)")
+	gQueue := rec.Gauge("cosim.memq-depth", "events",
+		"burst requests pending at the memory-controller arbiter")
+	hQueue := rec.Histogram("cosim.memq-occupancy", "events",
+		"per-cycle pending burst requests at the memory-controller arbiter")
 	lanes := make([]*laneState, cfg.WorkItems)
 	for i := range lanes {
 		ls := &laneState{stallStart: -1}
@@ -210,12 +216,26 @@ func RunCoSim(cfg CoSimConfig) (CoSimResult, error) {
 			cBusy.Add(1)
 		}
 
+		// Queue-depth sample: burst requests still pending after this
+		// cycle's arbitration (only when tracing — the scan is O(lanes)).
+		if rec != nil {
+			var pending int64
+			for _, ls := range lanes {
+				if ls.buf.wantsGrant(cycle) {
+					pending++
+				}
+			}
+			gQueue.Set(pending)
+			hQueue.Record(pending)
+		}
+
 		for _, ls := range lanes {
 			// 2. Burst completion: account the transferred payload with a
 			// single bulk increment per burst.
 			if payload, done := ls.buf.complete(cycle); done {
 				transferred += int64(payload)
 				cValues.Add(int64(payload))
+				hBurst.Record(int64(payload))
 				memTr.SpanL(telemetry.EvMemBurst, ls.label, ls.buf.grantCycle, cycle, int64(payload))
 			}
 

@@ -93,6 +93,13 @@ type streamProbe struct {
 	// realized batch size from the pair.
 	burstValues *telemetry.Counter
 	burstOps    *telemetry.Counter
+	// Live-metrics instruments: FIFO occupancy after the most recent
+	// operation, and the per-wait blocked/starved duration distributions
+	// (the counters above only expose totals; the histograms expose the
+	// tail — one long stall vs many short ones).
+	occupancy *telemetry.Gauge
+	blockUS   *telemetry.Histogram
+	starveUS  *telemetry.Histogram
 	// sampleMask thins the per-value push/pop instants: an event is
 	// emitted when count&sampleMask == 0; burst operations emit one
 	// instant per crossed sampling window (block/starve spans are
@@ -111,16 +118,26 @@ func (s *Stream[T]) Instrument(rec *telemetry.Recorder) {
 		return
 	}
 	s.probe = &streamProbe{
-		tr:     rec.Track("stream "+s.name, telemetry.Wall),
-		pushes: rec.Counter("stream."+s.name+".push", "values", ""),
-		pops:   rec.Counter("stream."+s.name+".pop", "values", ""),
+		tr: rec.Track("stream "+s.name, telemetry.Wall),
+		pushes: rec.Counter("stream."+s.name+".push", "values",
+			fmt.Sprintf("hls::stream %q values written", s.name)),
+		pops: rec.Counter("stream."+s.name+".pop", "values",
+			fmt.Sprintf("hls::stream %q values read", s.name)),
 		pushBlockNS: rec.Counter("stream."+s.name+".push-block", "ns",
 			fmt.Sprintf("hls::stream %q producer blocked (FIFO full)", s.name)),
 		popBlockNS: rec.Counter("stream."+s.name+".pop-block", "ns",
 			fmt.Sprintf("hls::stream %q consumer starved (FIFO empty)", s.name)),
-		burstValues: rec.Counter("stream."+s.name+".burst-values", "values", ""),
-		burstOps:    rec.Counter("stream."+s.name+".burst-ops", "events", ""),
-		sampleMask:  255,
+		burstValues: rec.Counter("stream."+s.name+".burst-values", "values",
+			fmt.Sprintf("hls::stream %q values moved by the burst API", s.name)),
+		burstOps: rec.Counter("stream."+s.name+".burst-ops", "events",
+			fmt.Sprintf("hls::stream %q burst operations", s.name)),
+		occupancy: rec.Gauge("stream."+s.name+".occupancy", "values",
+			fmt.Sprintf("hls::stream %q FIFO occupancy after the latest operation", s.name)),
+		blockUS: rec.Histogram("stream."+s.name+".block-us", "us",
+			fmt.Sprintf("hls::stream %q per-wait producer blocked duration (FIFO full)", s.name)),
+		starveUS: rec.Histogram("stream."+s.name+".starve-us", "us",
+			fmt.Sprintf("hls::stream %q per-wait consumer starved duration (FIFO empty)", s.name)),
+		sampleMask: 255,
 	}
 }
 
@@ -187,6 +204,7 @@ func (s *Stream[T]) waitNotFull(p *streamProbe) {
 		end := p.tr.Now()
 		p.tr.Span(telemetry.EvStreamBlock, end-blocked.Microseconds(), end, int64(s.count))
 		p.pushBlockNS.Add(blocked.Nanoseconds())
+		p.blockUS.Record(blocked.Microseconds())
 	}
 }
 
@@ -208,6 +226,7 @@ func (s *Stream[T]) waitNotEmpty(p *streamProbe) {
 		end := p.tr.Now()
 		p.tr.Span(telemetry.EvStreamStarve, end-starved.Microseconds(), end, 0)
 		p.popBlockNS.Add(starved.Nanoseconds())
+		p.starveUS.Record(starved.Microseconds())
 	}
 }
 
@@ -225,9 +244,11 @@ func (s *Stream[T]) Write(v T) {
 	}
 	s.enqueue(v)
 	n := s.writes
+	occ := s.count
 	s.notEmpty.Signal()
 	s.mu.Unlock()
 	if p != nil {
+		p.occupancy.Set(int64(occ))
 		p.pushes.Add(1)
 		if n&p.sampleMask == 0 {
 			p.tr.Instant(telemetry.EvStreamPush, p.tr.Now(), int64(n))
@@ -278,8 +299,10 @@ func (s *Stream[T]) WriteBurst(vs []T) {
 		s.notEmpty.Signal()
 	}
 	after := s.writes
+	occ := s.count
 	s.mu.Unlock()
 	if p != nil {
+		p.occupancy.Set(int64(occ))
 		p.pushes.Add(int64(len(vs)))
 		p.burstValues.Add(int64(len(vs)))
 		p.burstOps.Add(1)
@@ -307,9 +330,11 @@ func (s *Stream[T]) Read() (T, error) {
 	}
 	v := s.dequeue()
 	n := s.reads
+	occ := s.count
 	s.notFull.Signal()
 	s.mu.Unlock()
 	if p != nil {
+		p.occupancy.Set(int64(occ))
 		p.pops.Add(1)
 		if n&p.sampleMask == 0 {
 			p.tr.Instant(telemetry.EvStreamPop, p.tr.Now(), int64(n))
@@ -354,8 +379,10 @@ func (s *Stream[T]) ReadBurst(dst []T) (int, error) {
 		s.notFull.Signal()
 	}
 	after := s.reads
+	occ := s.count
 	s.mu.Unlock()
 	if p != nil && read > 0 {
+		p.occupancy.Set(int64(occ))
 		p.pops.Add(int64(read))
 		p.burstValues.Add(int64(read))
 		p.burstOps.Add(1)
@@ -392,9 +419,11 @@ func (s *Stream[T]) TryRead() (T, bool) {
 		return zero, false
 	}
 	v := s.dequeue()
+	occ := s.count
 	s.notFull.Signal()
 	s.mu.Unlock()
 	if p != nil {
+		p.occupancy.Set(int64(occ))
 		p.pops.Add(1)
 	}
 	return v, true

@@ -101,5 +101,17 @@ func (g *Generator) CycleBlock(dst []float32, attempts int, s *BlockScratch) (pr
 	g.cycles += uint64(attempts)
 	g.normalValid += uint64(nvalid)
 	g.accepted += uint64(accepted)
+	if g.tripHist != nil {
+		// Same trip accounting as the gated path, replayed over the
+		// block's acceptance flags; sinceAccept carries a partial trip
+		// across block boundaries and into a gated tail.
+		for i := 0; i < attempts; i++ {
+			g.sinceAccept++
+			if acc[i] {
+				g.tripHist.Record(g.sinceAccept)
+				g.sinceAccept = 0
+			}
+		}
+	}
 	return produced
 }

@@ -26,6 +26,7 @@ import (
 	"github.com/decwi/decwi/internal/rng"
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // Params holds the precomputed Marsaglia-Tsang constants for one (α, β)
@@ -200,6 +201,13 @@ type Generator struct {
 	cycles      uint64 // total CycleStep invocations
 	accepted    uint64 // cycles with Valid result
 	normalValid uint64 // cycles whose uniform-to-normal stage was valid
+
+	// tripHist, when set via InstrumentTrips, receives the number of
+	// pipeline iterations each accepted output took (1 = first-try
+	// accept). sinceAccept carries the in-flight trip count across the
+	// block/gated compute boundary.
+	tripHist    *telemetry.Histogram
+	sinceAccept int64
 }
 
 // NewGenerator builds a pipelined generator with the given transform,
@@ -232,6 +240,20 @@ func (g *Generator) Reseed(seed uint64) {
 	g.mt1.Seed(seeds[2])
 	g.mt2.Seed(seeds[3])
 	g.cycles, g.accepted, g.normalValid = 0, 0, 0
+	g.sinceAccept = 0
+}
+
+// InstrumentTrips attaches a histogram that receives, for every accepted
+// output, the number of pipeline iterations it took (1 = accepted on the
+// first attempt) — the per-output cost distribution of the nested
+// rejection loops. Pass nil to detach; pooled generators must be
+// re-attached (or detached) on every acquisition so a recorder from a
+// previous run never leaks into the next. The trip accounting itself
+// never touches the twister streams, so it cannot perturb the generated
+// bytes.
+func (g *Generator) InstrumentTrips(h *telemetry.Histogram) {
+	g.tripHist = h
+	g.sinceAccept = 0
 }
 
 // Params returns the gamma parameters of this generator.
@@ -296,6 +318,13 @@ func (g *Generator) CycleStep() CycleResult {
 
 	if valid {
 		g.accepted++
+	}
+	if g.tripHist != nil {
+		g.sinceAccept++
+		if valid {
+			g.tripHist.Record(g.sinceAccept)
+			g.sinceAccept = 0
+		}
 	}
 	return CycleResult{Gamma: out, Valid: valid, NormalValid: n0ok}
 }

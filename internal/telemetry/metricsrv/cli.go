@@ -1,0 +1,43 @@
+package metricsrv
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/decwi/decwi/internal/telemetry"
+)
+
+// StartForCLI is the shared -http flag plumbing of the cmd/ binaries:
+// when addr is non-empty it binds the observability server for rec,
+// announces the resolved endpoint on stderr (":0" selects an ephemeral
+// port, so the printed address is how a scraper finds the run), and
+// returns a stop function for the end of the run. stop lingers for the
+// given duration first — so a scrape race at the end of a short run
+// (the check.sh smoke step) still lands — then shuts the server down
+// gracefully and joins its goroutine; a run that exits through stop
+// leaks nothing. When addr is empty, stop is a no-op and rec may be
+// nil.
+func StartForCLI(prog, addr string, linger time.Duration, rec *telemetry.Recorder) (stop func() error, err error) {
+	if addr == "" {
+		return func() error { return nil }, nil
+	}
+	srv, err := New(rec)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: metrics on http://%s/metrics (also /healthz /snapshot /debug/pprof)\n", prog, bound)
+	return func() error {
+		if linger > 0 {
+			time.Sleep(linger)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Close(ctx)
+	}, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled lets allocation-accounting tests skip themselves when the
+// race detector's instrumentation would perturb the count.
+const raceEnabled = true

@@ -192,6 +192,32 @@ func (r *Recorder) StallReport() string {
 		fmt.Fprintf(&b, "\n")
 	}
 
+	// Gauges and distributions render sorted by name, not by magnitude:
+	// levels and shapes are read by name, and name order keeps the report
+	// byte-identical across runs of the same workload.
+	gauges := r.Gauges()
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name() < gauges[j].Name() })
+	if len(gauges) > 0 {
+		fmt.Fprintf(&b, "Gauges (level at report time)\n")
+		for _, g := range gauges {
+			fmt.Fprintf(&b, "  %-48s %14d %s\n", g.Name(), g.Value(), g.Unit())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	hists := r.Histograms()
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name() < hists[j].Name() })
+	if len(hists) > 0 {
+		fmt.Fprintf(&b, "Distributions (quantiles over power-of-two buckets)\n")
+		fmt.Fprintf(&b, "  %-44s %10s %8s %8s %8s %8s\n", "name", "count", "p50", "p90", "p99", "max")
+		for _, h := range hists {
+			s := h.Snapshot()
+			fmt.Fprintf(&b, "  %-44s %10d %8d %8d %8d %8d %s\n",
+				s.Name, s.Count, s.P50, s.P90, s.P99, s.Max, s.Unit)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
 	if len(otherGroups) > 0 {
 		fmt.Fprintf(&b, "Other counters\n")
 		for _, g := range otherGroups {

@@ -293,6 +293,14 @@ type Recorder struct {
 	counters map[string]*Counter
 	corder   []string
 
+	gmu    sync.Mutex
+	gauges map[string]*Gauge
+	gorder []string
+
+	hmu    sync.Mutex
+	hists  map[string]*Histogram
+	horder []string
+
 	lmu    sync.Mutex
 	labels map[string]int32
 	lnames []string // index = label id - 1
@@ -312,6 +320,8 @@ func New(n int) *Recorder {
 		start:    time.Now(),
 		ring:     make([]Event, n),
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 		labels:   make(map[string]int32),
 	}
 }

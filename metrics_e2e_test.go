@@ -1,0 +1,95 @@
+package decwi_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
+)
+
+// TestMetricsEndToEnd is the acceptance check of the live metrics plane:
+// run the parallel engine with a recorder attached, serve that recorder
+// over HTTP, and require the scrape to be valid Prometheus exposition
+// carrying at least one counter, one gauge and one histogram family with
+// monotonically non-decreasing cumulative buckets (CheckExposition
+// enforces the monotonicity and +Inf == _count invariants).
+func TestMetricsEndToEnd(t *testing.T) {
+	rec := telemetry.New(0)
+	srv, err := metricsrv.New(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	res, err := decwi.GenerateParallel(decwi.Config2, decwi.ParallelOptions{
+		GenerateOptions: decwi.GenerateOptions{
+			Scenarios: 50000, Sectors: 2, Seed: 7, Telemetry: rec,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks < 1 {
+		t.Fatalf("parallel run reported %d chunks", res.Chunks)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+
+	counters, gauges, hists, err := metricsrv.CheckExposition(string(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n---\n%s", err, body)
+	}
+	if counters < 1 || gauges < 1 || hists < 1 {
+		t.Fatalf("family counts = (%d counters, %d gauges, %d histograms), want ≥ 1 of each\n---\n%s",
+			counters, gauges, hists, body)
+	}
+	t.Logf("live scrape: %d counter, %d gauge, %d histogram families", counters, gauges, hists)
+}
+
+// TestMetricsDoNotPerturbOutput pins the observability contract: the
+// same options with and without a recorder attached produce identical
+// bytes — instrumentation observes the run, it never participates in it.
+func TestMetricsDoNotPerturbOutput(t *testing.T) {
+	opt := decwi.GenerateOptions{Scenarios: 20000, Sectors: 2, Seed: 11}
+	plain, err := decwi.Generate(decwi.Config3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Telemetry = telemetry.New(0)
+	observed, err := decwi.Generate(decwi.Config3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Values) != len(observed.Values) {
+		t.Fatalf("value count diverged: %d vs %d", len(plain.Values), len(observed.Values))
+	}
+	for i := range plain.Values {
+		if plain.Values[i] != observed.Values[i] {
+			t.Fatalf("value %d diverged with telemetry attached: %v vs %v",
+				i, plain.Values[i], observed.Values[i])
+		}
+	}
+}

@@ -121,6 +121,12 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 		"work-item chunks executed by the work-stealing scheduler")
 	cSteals := rec.Counter("parallel.steals", "events",
 		"chunks claimed by a worker other than their static owner")
+	hChunkUS := rec.Histogram("parallel.chunk-service-us", "us",
+		"per-chunk wall-clock service time — the skew distribution work stealing absorbs")
+	hStealUS := rec.Histogram("parallel.steal-service-us", "us",
+		"service time of stolen chunks (claimed off their static owner)")
+	gActive := rec.Gauge("parallel.workers-active", "events",
+		"scheduler workers currently executing a chunk")
 	stealLabel := rec.Intern("steal")
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -147,6 +153,8 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 		go func(w int) {
 			defer wg.Done()
 			track := rec.Track(fmt.Sprintf("parallel/worker[%d]", w), telemetry.Wall)
+			gBusy := rec.Gauge(fmt.Sprintf("parallel.worker-busy-us[%d]", w), "us",
+				"accumulated chunk-execution time of this scheduler worker, updated live per chunk")
 			for {
 				chunk := int(cursor.Add(1) - 1)
 				if chunk >= chunks || ctx.Err() != nil {
@@ -158,6 +166,7 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 					hi = wi
 				}
 				stolen := chunk%opt.Workers != w
+				gActive.Add(1)
 				tsStart := track.Now()
 				start := time.Now()
 				err := parallelChunkFaultErr(chunk)
@@ -165,11 +174,15 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 					err = eng.RunChunk(ctx, values, lo, hi, stats)
 				}
 				elapsed := time.Since(start).Nanoseconds()
+				gActive.Add(-1)
 				chunkDur[chunk] = elapsed
 				workerSum[w] += elapsed
+				gBusy.Set(workerSum[w] / 1000)
+				hChunkUS.Record(elapsed / 1000)
 				if stolen {
 					steals.Add(1)
 					cSteals.Add(1)
+					hStealUS.Record(elapsed / 1000)
 					track.SpanL(telemetry.EvChunk, stealLabel, tsStart, track.Now(), int64(chunk))
 				} else {
 					track.Span(telemetry.EvChunk, tsStart, track.Now(), int64(chunk))

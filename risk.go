@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/decwi/decwi/internal/creditrisk"
+	"github.com/decwi/decwi/internal/telemetry"
 )
 
 // This file exposes the CreditRisk+ application layer (Section II-D4):
@@ -58,12 +59,23 @@ type RiskReport struct {
 // generator of configuration c, cross-checked against the analytic
 // moments and (when bandUnit > 0) the exact Panjer recursion.
 func PortfolioRisk(p *Portfolio, c ConfigID, scenarios int, bandUnit float64, seed uint64) (*RiskReport, error) {
+	return PortfolioRiskObserved(p, c, scenarios, bandUnit, seed, nil)
+}
+
+// PortfolioRiskObserved is PortfolioRisk with a live metrics recorder:
+// the Monte-Carlo loop feeds rec a scenario progress counter,
+// per-sector rejection-trip histograms and a defaults-per-scenario
+// histogram, so a long run can be scraped over the -http observability
+// server while it executes. A nil rec behaves exactly like
+// PortfolioRisk.
+func PortfolioRiskObserved(p *Portfolio, c ConfigID, scenarios int, bandUnit float64, seed uint64, rec *telemetry.Recorder) (*RiskReport, error) {
 	k, err := c.kernel()
 	if err != nil {
 		return nil, err
 	}
 	res, err := creditrisk.SimulateMC(p, creditrisk.MCConfig{
 		Scenarios: scenarios, Transform: k.Transform, MTParams: k.MTParams, Seed: seed,
+		Telemetry: rec,
 	})
 	if err != nil {
 		return nil, err

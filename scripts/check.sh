@@ -24,10 +24,12 @@ go test -race -run 'TestBlockCompute|TestCycleBlock|TestFillUint32|TestPropertyF
     ./internal/core ./internal/rng/gamma ./internal/rng/mt
 
 # Allocation gates (meaningful only without -race, whose instrumentation
-# allocates): the steady-state block loops must not allocate at all.
-echo "== zero-allocation gates (steady-state block loops)"
+# allocates): the steady-state block loops must not allocate at all, and
+# neither may a histogram Record on the telemetry hot path.
+echo "== zero-allocation gates (steady-state block loops, histogram Record)"
 go test -run 'TestSteadyStateBlockZeroAllocs|TestFillUint32ZeroAlloc|TestFillNormalZeroAlloc' \
     ./internal/rng/gamma ./internal/rng/mt ./internal/rng/normal
+go test -run 'TestHistogramRecordZeroAlloc' ./internal/telemetry
 
 # Parallel-equivalence suite under both a single-core and a multicore
 # scheduler: GOMAXPROCS=1 exercises the sequential claim order,
@@ -42,10 +44,16 @@ GOMAXPROCS=4 go test -race -count=1 \
 
 # Benchmark smoke run: one iteration each, so the burst-transport,
 # sharded-generation and compute-path benchmarks can never silently rot.
-echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel, BenchmarkBlockCompute)"
+echo "== bench smoke (BenchmarkBatchedStream, BenchmarkGenerateParallel, BenchmarkBlockCompute, BenchmarkHistogramRecord)"
 go test -run '^$' -bench BenchmarkBatchedStream -benchtime 1x ./internal/hls
 go test -run '^$' -bench BenchmarkGenerateParallel -benchtime 1x .
 go test -run '^$' -bench BenchmarkBlockCompute -benchtime 1x .
+go test -run '^$' -bench BenchmarkHistogramRecord -benchtime 1x ./internal/telemetry
+
+# Live metrics smoke: scrape a running decwi-gammagen -http server and
+# validate the exposition with the in-repo checker.
+echo "== live metrics smoke (decwi-gammagen -http + decwi-promcheck)"
+sh scripts/metrics_smoke.sh
 
 # Baseline-diff smoke: the self-compare must always be delta-free, so
 # the comparer itself can never silently rot; the BENCH_3 -> BENCH_4
