@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke metrics-smoke trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke metrics-smoke serve-smoke bench-serve trace clean
 
-check: vet build race bench-smoke bench-compare-smoke metrics-smoke
+check: vet build race bench-smoke bench-compare-smoke metrics-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,17 @@ bench-smoke:
 # validate the Prometheus exposition with the in-repo checker.
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# Service smoke: boot decwi-served, run a replay-determinism check and a
+# risk batch through decwi-loadgen, validate the live metrics plane, and
+# require a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Service latency/throughput baseline (BENCH_6.json at the repo root):
+# p50/p99 job latency and saturation throughput across concurrency levels.
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # Smoke-test the tracing CLI (artifacts land in the working directory).
 trace:

@@ -28,15 +28,11 @@ func main() {
 	cfgNum := flag.Int("config", 2, "gamma kernel configuration (1-4)")
 	band := flag.Float64("band", 0, "exposure banding unit for the exact Panjer cross-check (0 = skip)")
 	seed := flag.Uint64("seed", 1, "master seed")
-	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
-	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var rec *telemetry.Recorder
-	if *httpAddr != "" {
-		rec = telemetry.New(0)
-	}
-	stopMetrics, err := metricsrv.StartForCLI("decwi-creditrisk", *httpAddr, *httpLinger, rec)
+	rec := mflags.Recorder()
+	stopMetrics, err := mflags.Start("decwi-creditrisk", rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-creditrisk: %v\n", err)
 		os.Exit(1)

@@ -38,8 +38,7 @@ func main() {
 	validate := flag.Bool("validate", true, "run the KS validation and report it on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
-	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -47,11 +46,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
 		os.Exit(1)
 	}
-	var rec *telemetry.Recorder
-	if *httpAddr != "" {
-		rec = telemetry.New(0)
-	}
-	stopMetrics, err := metricsrv.StartForCLI("decwi-gammagen", *httpAddr, *httpLinger, rec)
+	rec := mflags.Recorder()
+	stopMetrics, err := mflags.Start("decwi-gammagen", rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-gammagen: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,351 @@
+// Command decwi-loadgen drives a running decwi-served instance with a
+// closed-loop workload and reports the latency distribution and
+// saturation throughput — the load harness behind BENCH_6.json.
+//
+// Each worker loops submit → long-poll → download → delete; 429
+// responses are retried after the server's Retry-After hint, so the
+// measured throughput is the service's admission-controlled capacity,
+// not a queue blow-up. Every downloaded payload is checked against the
+// X-Decwi-Sha256 digest the server advertises.
+//
+// Usage:
+//
+//	decwi-loadgen -url http://127.0.0.1:8080 -requests 64 -concurrency 8
+//	decwi-loadgen -url http://... -kind risk -requests 16 -json
+//	decwi-loadgen -url http://... -replay       # determinism check, 2 submits
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type jobSpec struct {
+	Kind      string  `json:"kind,omitempty"`
+	Config    int     `json:"config"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Scenarios int64   `json:"scenarios"`
+	Sectors   int     `json:"sectors,omitempty"`
+	Workers   int     `json:"workers"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Obligors  int     `json:"obligors,omitempty"`
+	PD        float64 `json:"pd,omitempty"`
+	Exposure  float64 `json:"exposure,omitempty"`
+}
+
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+func main() {
+	url := flag.String("url", "", "base URL of the decwi-served API (required, e.g. http://127.0.0.1:8080)")
+	kind := flag.String("kind", "generate", "job kind: generate or risk")
+	requests := flag.Int("requests", 32, "total jobs to run")
+	concurrency := flag.Int("concurrency", 4, "closed-loop client workers")
+	cfgNum := flag.Int("config", 2, "kernel configuration 1-4 (Table I)")
+	scenarios := flag.Int64("scenarios", 20000, "gamma values per sector (generate) or MC scenarios (risk)")
+	sectors := flag.Int("sectors", 2, "number of financial sectors")
+	workers := flag.Int("workers", 2, "engine workers per job")
+	seedBase := flag.Uint64("seed-base", 1000, "job i uses seed seed-base+i")
+	tenant := flag.String("tenant", "loadgen", "tenant label for quota accounting")
+	jsonOut := flag.Bool("json", false, "emit the summary as a JSON object on stdout")
+	replay := flag.Bool("replay", false, "determinism check: submit one spec twice and require byte-identical payloads")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall per-job client deadline")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "decwi-loadgen: -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	lg := &loadgen{
+		base:    strings.TrimRight(*url, "/"),
+		client:  &http.Client{Timeout: 90 * time.Second},
+		timeout: *timeout,
+	}
+	spec := jobSpec{
+		Kind: *kind, Config: *cfgNum, Scenarios: *scenarios,
+		Sectors: *sectors, Workers: *workers, Tenant: *tenant,
+	}
+	if *kind == "risk" {
+		spec.Sectors = *sectors
+		spec.Obligors = 100
+		spec.PD = 0.02
+		spec.Exposure = 100
+	}
+
+	var err error
+	if *replay {
+		err = lg.replayCheck(spec, *seedBase)
+	} else {
+		err = lg.run(spec, *requests, *concurrency, *seedBase, *jsonOut)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type loadgen struct {
+	base    string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// submit POSTs the spec, retrying 429/503 after the server's
+// Retry-After hint, and returns the accepted job's status.
+func (lg *loadgen) submit(spec jobSpec) (jobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	endpoint := lg.base + "/v1/" + spec.Kind
+	deadline := time.Now().Add(lg.timeout)
+	for {
+		resp, err := lg.client.Post(endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return jobStatus{}, err
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st jobStatus
+			if err := json.Unmarshal(respBody, &st); err != nil {
+				return jobStatus{}, fmt.Errorf("decode accept body: %w", err)
+			}
+			return st, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if time.Now().Add(wait).After(deadline) {
+				return jobStatus{}, fmt.Errorf("POST %s: still %s at client deadline", endpoint, resp.Status)
+			}
+			time.Sleep(wait)
+		default:
+			return jobStatus{}, fmt.Errorf("POST %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(respBody)))
+		}
+	}
+}
+
+// await long-polls the job until it is terminal.
+func (lg *loadgen) await(id string) (jobStatus, error) {
+	deadline := time.Now().Add(lg.timeout)
+	for {
+		resp, err := lg.client.Get(lg.base + "/v1/jobs/" + id + "?wait=10s")
+		if err != nil {
+			return jobStatus{}, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return jobStatus{}, fmt.Errorf("GET job %s: %s", id, resp.Status)
+		}
+		var st jobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return jobStatus{}, err
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return jobStatus{}, fmt.Errorf("job %s still %s at client deadline", id, st.State)
+		}
+	}
+}
+
+// fetchResult downloads the payload and verifies the digest header.
+func (lg *loadgen) fetchResult(id string) ([]byte, error) {
+	resp, err := lg.client.Get(lg.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET result %s: %s: %s", id, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	sum := sha256.Sum256(payload)
+	if got, want := hex.EncodeToString(sum[:]), resp.Header.Get("X-Decwi-Sha256"); want != "" && got != want {
+		return nil, fmt.Errorf("job %s: payload digest %s != advertised %s", id, got, want)
+	}
+	return payload, nil
+}
+
+func (lg *loadgen) remove(id string) {
+	req, err := http.NewRequest(http.MethodDelete, lg.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := lg.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// oneJob runs a full submit → await → download → delete cycle and
+// returns the payload plus the client-observed latency.
+func (lg *loadgen) oneJob(spec jobSpec) ([]byte, time.Duration, error) {
+	start := time.Now()
+	st, err := lg.submit(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err = lg.await(st.ID)
+	if err != nil {
+		lg.remove(st.ID)
+		return nil, 0, err
+	}
+	if st.State != "done" {
+		lg.remove(st.ID)
+		return nil, 0, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	payload, err := lg.fetchResult(st.ID)
+	lat := time.Since(start)
+	lg.remove(st.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, lat, nil
+}
+
+// replayCheck is the smoke-test mode: the same (seed, config) tuple
+// submitted twice must come back bitwise identical.
+func (lg *loadgen) replayCheck(spec jobSpec, seed uint64) error {
+	spec.Seed = seed
+	first, _, err := lg.oneJob(spec)
+	if err != nil {
+		return fmt.Errorf("replay run 1: %w", err)
+	}
+	second, _, err := lg.oneJob(spec)
+	if err != nil {
+		return fmt.Errorf("replay run 2: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("replay mismatch: %d vs %d bytes, payloads differ", len(first), len(second))
+	}
+	sum := sha256.Sum256(first)
+	fmt.Printf("decwi-loadgen: replay OK — %s seed %d twice, %d bytes, sha256 %s\n",
+		spec.Kind, seed, len(first), hex.EncodeToString(sum[:]))
+	return nil
+}
+
+type summary struct {
+	Kind        string  `json:"kind"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Config      int     `json:"config"`
+	Scenarios   int64   `json:"scenarios"`
+	WallMS      float64 `json:"wall_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	Throughput  float64 `json:"jobs_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	Retried429  int64   `json:"-"`
+}
+
+func (lg *loadgen) run(spec jobSpec, requests, concurrency int, seedBase uint64, jsonOut bool) error {
+	if requests < 1 || concurrency < 1 {
+		return fmt.Errorf("-requests and -concurrency must be ≥ 1")
+	}
+	if concurrency > requests {
+		concurrency = requests
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		bytesIn   int64
+		firstErr  error
+	)
+	next := make(chan uint64, requests)
+	for i := 0; i < requests; i++ {
+		next <- seedBase + uint64(i)
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range next {
+				s := spec
+				s.Seed = seed
+				payload, lat, err := lg.oneJob(s)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					latencies = append(latencies, lat)
+					bytesIn += int64(len(payload))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	quantile := func(q float64) time.Duration {
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	sum := summary{
+		Kind: spec.Kind, Requests: requests, Concurrency: concurrency,
+		Config: spec.Config, Scenarios: spec.Scenarios,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		P50MS:      float64(quantile(0.50).Microseconds()) / 1e3,
+		P99MS:      float64(quantile(0.99).Microseconds()) / 1e3,
+		MeanMS:     float64(total.Microseconds()) / float64(len(latencies)) / 1e3,
+		Throughput: float64(requests) / wall.Seconds(),
+		MBPerSec:   float64(bytesIn) / 1e6 / wall.Seconds(),
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(sum)
+	}
+	fmt.Printf("decwi-loadgen: %d %s jobs @ concurrency %d in %v\n", requests, spec.Kind, concurrency, wall.Round(time.Millisecond))
+	fmt.Printf("  latency  p50 %.1fms  p99 %.1fms  mean %.1fms\n", sum.P50MS, sum.P99MS, sum.MeanMS)
+	fmt.Printf("  throughput %.2f jobs/s, %.2f MB/s payload\n", sum.Throughput, sum.MBPerSec)
+	return nil
+}

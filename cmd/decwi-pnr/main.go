@@ -14,21 +14,16 @@ import (
 	"os"
 
 	decwi "github.com/decwi/decwi"
-	"github.com/decwi/decwi/internal/telemetry"
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
 func main() {
 	cfgNum := flag.Int("config", 0, "configuration to sweep (1-4; 0 = all)")
-	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
-	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var rec *telemetry.Recorder
-	if *httpAddr != "" {
-		rec = telemetry.New(0)
-	}
-	stopMetrics, err := metricsrv.StartForCLI("decwi-pnr", *httpAddr, *httpLinger, rec)
+	rec := mflags.Recorder()
+	stopMetrics, err := mflags.Start("decwi-pnr", rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-pnr: %v\n", err)
 		os.Exit(1)

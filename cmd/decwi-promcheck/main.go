@@ -10,6 +10,7 @@
 //	decwi-promcheck -url http://127.0.0.1:9090/metrics
 //	decwi-promcheck -url http://...:9090/metrics -min-counters 5 -min-gauges 1 -min-histograms 1
 //	decwi-promcheck -url http://...:9090/healthz -healthz
+//	decwi-promcheck -url http://...:9090/snapshot -snapshot
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	minGauges := flag.Int("min-gauges", 1, "fail unless at least this many gauge families are present")
 	minHists := flag.Int("min-histograms", 1, "fail unless at least this many histogram families are present")
 	healthz := flag.Bool("healthz", false, "treat the URL as a liveness probe: require 200 and body \"ok\"")
+	snapshot := flag.Bool("snapshot", false, "treat the URL as a /snapshot JSON endpoint: fetch twice and validate both (schema, non-negative values and deltas, ordered histogram quantiles)")
 	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
 	flag.Parse()
 
@@ -37,23 +39,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *timeout); err != nil {
+	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *snapshot, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-promcheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, minCounters, minGauges, minHists int, healthz bool, timeout time.Duration) error {
-	client := &http.Client{Timeout: timeout}
+func fetch(client *http.Client, url string) ([]byte, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+		return nil, fmt.Errorf("GET %s: status %s", url, resp.Status)
 	}
-	body, err := io.ReadAll(resp.Body)
+	return io.ReadAll(resp.Body)
+}
+
+func run(url string, minCounters, minGauges, minHists int, healthz, snapshot bool, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	if snapshot {
+		// Two scrapes: the first primes the server-side delta baseline,
+		// the second must report non-negative counter deltas against it.
+		// Both bodies must satisfy the full schema check.
+		for i := 1; i <= 2; i++ {
+			body, err := fetch(client, url)
+			if err != nil {
+				return err
+			}
+			counters, gauges, hists, err := metricsrv.CheckSnapshot(body)
+			if err != nil {
+				return fmt.Errorf("invalid snapshot (scrape %d): %w", i, err)
+			}
+			if i == 2 {
+				if counters < minCounters || gauges < minGauges || hists < minHists {
+					return fmt.Errorf("snapshot counts too low: %d counters (min %d), %d gauges (min %d), %d histograms (min %d)",
+						counters, minCounters, gauges, minGauges, hists, minHists)
+				}
+				fmt.Printf("decwi-promcheck: OK — snapshot valid across 2 scrapes: %d counters, %d gauges, %d histograms\n",
+					counters, gauges, hists)
+			}
+		}
+		return nil
+	}
+	body, err := fetch(client, url)
 	if err != nil {
 		return err
 	}

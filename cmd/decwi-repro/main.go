@@ -36,8 +36,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed for the measured quantities")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
-	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	csvMode = *csvOut
 
@@ -50,10 +49,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
 		os.Exit(1)
 	}
-	if *httpAddr != "" {
-		metricsRec = telemetry.New(0)
-	}
-	stopMetrics, err := metricsrv.StartForCLI("decwi-repro", *httpAddr, *httpLinger, metricsRec)
+	metricsRec = mflags.Recorder()
+	stopMetrics, err := mflags.Start("decwi-repro", metricsRec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-repro: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,133 @@
+// Command decwi-served exposes the decoupled work-item gamma engine as
+// a long-running HTTP/JSON job service — gamma-as-a-service for the
+// case study's two workloads:
+//
+//	POST /v1/generate            submit a gamma-generation job (202 + job id)
+//	POST /v1/risk                submit a CreditRisk+ portfolio job
+//	GET  /v1/jobs/{id}           job status (add ?wait=5s to long-poll)
+//	GET  /v1/jobs/{id}/result    download the payload (float32 LE / JSON)
+//	DELETE /v1/jobs/{id}         cancel a live job or evict a finished one
+//
+// Admission control is a bounded queue with per-tenant token-bucket
+// quotas: saturation answers 429 with Retry-After instead of queueing
+// unboundedly. Results are deterministic — resubmitting the same
+// (seed, config) tuple streams back bitwise-identical bytes, equal to
+// the library's sequential Generate output.
+//
+// SIGTERM/SIGINT starts a graceful drain: new submissions get 503,
+// queued and running jobs finish (bounded by -drain-timeout), then the
+// listener and metrics server shut down and the process exits 0.
+//
+// Usage:
+//
+//	decwi-served -addr :8080 -http :9090
+//	decwi-served -addr 127.0.0.1:0 -executors 4 -quota-rate 50
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/decwi/decwi/internal/serve"
+	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/metricsrv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "API listen address (host:port; port 0 selects an ephemeral port)")
+	queueDepth := flag.Int("queue-depth", 64, "admission queue capacity; a full queue answers 429")
+	executors := flag.Int("executors", 2, "concurrent job executors")
+	defaultTimeout := flag.Duration("default-timeout", 60*time.Second, "per-job deadline when the request sets no timeout_ms")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant admissions per second (0 disables quotas)")
+	quotaBurst := flag.Int("quota-burst", 8, "per-tenant token-bucket burst size")
+	retainJobs := flag.Int("retain-jobs", 1024, "finished job records (and payloads) kept before FIFO eviction")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight jobs are aborted")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := run(*addr, *queueDepth, *executors, *defaultTimeout,
+		*quotaRate, *quotaBurst, *retainJobs, *drainTimeout, mflags); err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-served: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queueDepth, executors int, defaultTimeout time.Duration,
+	quotaRate float64, quotaBurst, retainJobs int, drainTimeout time.Duration,
+	mflags *metricsrv.Flags) error {
+	// The service always records its scheduler telemetry, whether or not
+	// the -http observability server is up: the instruments are cheap
+	// and a later scrape should see history, not a cold start.
+	rec := telemetry.New(0)
+	stopMetrics, err := mflags.Start("decwi-served", rec)
+	if err != nil {
+		return err
+	}
+
+	sched := serve.New(serve.Config{
+		QueueDepth:     queueDepth,
+		Executors:      executors,
+		DefaultTimeout: defaultTimeout,
+		QuotaRate:      quotaRate,
+		QuotaBurst:     quotaBurst,
+		RetainJobs:     retainJobs,
+		Telemetry:      rec,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Announce the resolved address on stderr — with port 0 this line is
+	// how scripts (serve_smoke.sh, bench_serve.sh) find the API.
+	fmt.Fprintf(os.Stderr, "decwi-served: API on http://%s (POST /v1/generate /v1/risk, GET /v1/jobs/{id})\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: serve.NewServer(sched).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
+	select {
+	case <-sigCtx.Done():
+		fmt.Fprintf(os.Stderr, "decwi-served: signal received, draining (budget %v)\n", drainTimeout)
+	case err := <-serveErr:
+		sched.Drain(context.Background())
+		stopMetrics()
+		return fmt.Errorf("http server: %w", err)
+	}
+	stopSignals() // a second signal now kills the process the default way
+
+	// Drain order matters: first stop admitting and let queued + running
+	// jobs finish (new submissions see 503 immediately), then shut the
+	// listener down — by that point every job is terminal, so lingering
+	// long-polls resolve instead of holding connections open.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := sched.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	if err := stopMetrics(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "decwi-served: drained, exiting")
+	return nil
+}

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/fpga"
@@ -42,13 +41,12 @@ func main() {
 	tracePath := flag.String("trace", "decwi-trace.json", "output path for the Chrome trace_event JSON")
 	reportPath := flag.String("report", "", "output path for the stall-attribution report (default: stdout)")
 	ringCap := flag.Int("events", telemetry.DefaultRingCap, "event ring capacity (oldest events overwritten beyond this)")
-	httpAddr := flag.String("http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
-	httpLinger := flag.Duration("http-linger", 0, "keep the metrics server up this long after the run finishes")
+	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
 		*cosimQuota, *tracePath, *reportPath, *ringCap,
-		*parallel, *shards, *workers, *chunkWI, *httpAddr, *httpLinger); err != nil {
+		*parallel, *shards, *workers, *chunkWI, mflags); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-trace: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,7 +54,7 @@ func main() {
 
 func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 	cosimQuota int64, tracePath, reportPath string, ringCap int,
-	parallel bool, shards, workers, chunkWI int, httpAddr string, httpLinger time.Duration) error {
+	parallel bool, shards, workers, chunkWI int, mflags *metricsrv.Flags) error {
 	if cfgNum < 1 || cfgNum > 4 {
 		return fmt.Errorf("-config must be 1..4, got %d", cfgNum)
 	}
@@ -68,8 +66,10 @@ func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,
 	kernels := []perf.KernelConfig{perf.Config1, perf.Config2, perf.Config3, perf.Config4}
 	k := kernels[cfgNum-1]
 
+	// decwi-trace needs the event ring for its trace artifacts, so it
+	// builds its own recorder instead of the metrics-only Flags.Recorder.
 	rec := telemetry.New(ringCap)
-	stopMetrics, err := metricsrv.StartForCLI("decwi-trace", httpAddr, httpLinger, rec)
+	stopMetrics, err := mflags.Start("decwi-trace", rec)
 	if err != nil {
 		return err
 	}

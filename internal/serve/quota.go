@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the per-tenant admission quota: a classic token bucket
+// per tenant, refilled continuously at rate tokens/second up to burst.
+// Submissions spend one token; an empty bucket rejects (429 at the HTTP
+// layer) without queueing — quota pressure must surface immediately,
+// not as unbounded latency.
+
+// tokenBucket is one tenant's bucket. Time is passed in (never read
+// from the wall clock here) so the scheduler's injectable clock drives
+// quota tests deterministically.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaSet tracks every tenant's bucket under one lock; tenant
+// cardinality is bounded by the tenant name grammar and the admission
+// rate, so a map is enough.
+type quotaSet struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; ≤ 0 disables quotas
+	burst   float64 // bucket capacity
+	buckets map[string]*tokenBucket
+}
+
+func newQuotaSet(rate float64, burst int) *quotaSet {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotaSet{rate: rate, burst: float64(burst), buckets: map[string]*tokenBucket{}}
+}
+
+// allow spends one token from tenant's bucket at time now, reporting
+// whether the submission is within quota. A first-seen tenant starts
+// with a full bucket.
+func (q *quotaSet) allow(tenant string, now time.Time) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuotaTokenBucket drives the per-tenant bucket with a synthetic
+// clock: burst consumption, continuous refill, tenant isolation, and
+// the rate ≤ 0 disable switch.
+func TestQuotaTokenBucket(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+
+	q := newQuotaSet(2, 3) // 2 tokens/s, burst 3
+	for i := 0; i < 3; i++ {
+		if !q.allow("a", t0) {
+			t.Fatalf("burst submission %d rejected", i)
+		}
+	}
+	if q.allow("a", t0) {
+		t.Fatal("submission beyond burst allowed")
+	}
+	// A different tenant has its own full bucket.
+	if !q.allow("b", t0) {
+		t.Fatal("fresh tenant rejected while another is exhausted")
+	}
+	// Refill: 0.5 s at 2 tokens/s mints one token.
+	if !q.allow("a", t0.Add(500*time.Millisecond)) {
+		t.Fatal("refilled token rejected")
+	}
+	if q.allow("a", t0.Add(500*time.Millisecond)) {
+		t.Fatal("second token allowed before it was minted")
+	}
+	// Refill clamps at burst: after a long idle stretch only 3 tokens
+	// exist, not rate·dt.
+	t1 := t0.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !q.allow("a", t1) {
+			t.Fatalf("post-idle burst submission %d rejected", i)
+		}
+	}
+	if q.allow("a", t1) {
+		t.Fatal("idle refill exceeded the burst cap")
+	}
+
+	// Rate ≤ 0 disables quotas entirely.
+	off := newQuotaSet(0, 1)
+	for i := 0; i < 100; i++ {
+		if !off.allow("a", t0) {
+			t.Fatal("disabled quota rejected a submission")
+		}
+	}
+}

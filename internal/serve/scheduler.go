@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	decwi "github.com/decwi/decwi"
+	"github.com/decwi/decwi/internal/telemetry"
+)
+
+// This file is the job scheduler: the layer between the HTTP API and
+// the work-stealing engine. It owns admission (bounded queue, per-tenant
+// token buckets, a hard draining gate), a fixed executor pool, the job
+// registry, and the lifecycle of every job record. Admission decisions
+// are immediate — a request that cannot be queued is rejected with a
+// typed error the HTTP layer maps onto 429/503, never parked — so
+// overload surfaces as backpressure, not as unbounded latency.
+
+// Typed admission errors. The HTTP layer maps these onto status codes;
+// anything else Submit returns is a *ValidationError (400).
+var (
+	// ErrDraining: the scheduler has stopped admitting (SIGTERM path).
+	ErrDraining = errors.New("serve: draining, not admitting new jobs")
+	// ErrQueueFull: the bounded admission queue is at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQuota: the tenant's token bucket is empty.
+	ErrQuota = errors.New("serve: tenant quota exhausted")
+)
+
+// ValidationError marks a spec the single validation gate rejected —
+// a client error (HTTP 400), never a server state.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Config parameterizes a Scheduler. The zero value of every field
+// selects its default.
+type Config struct {
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// rejects with ErrQueueFull instead of blocking the submitter.
+	QueueDepth int
+	// Executors is the number of jobs serviced concurrently (default 2).
+	// Total host parallelism is bounded by Executors · Limits.MaxJobWorkers.
+	Executors int
+	// DefaultTimeout bounds jobs that carry no TimeoutMS (default 60s).
+	DefaultTimeout time.Duration
+	// QuotaRate is the per-tenant admission rate in jobs/second
+	// (token-bucket refill; ≤ 0 disables quotas). QuotaBurst is the
+	// bucket capacity (default 8).
+	QuotaRate  float64
+	QuotaBurst int
+	// RetainJobs caps how many terminal job records (including their
+	// payloads) the registry keeps; the oldest are evicted first
+	// (default 1024). DELETE evicts eagerly.
+	RetainJobs int
+	// Limits are the per-job admission bounds specs are validated
+	// against.
+	Limits Limits
+	// Telemetry, when non-nil, receives the serve.* instruments plus
+	// the engine's own metrics for every job run (nil is fully
+	// supported: all recorder methods are nil-receiver safe).
+	Telemetry *telemetry.Recorder
+
+	// now is the injectable clock (tests); nil selects time.Now.
+	now func() time.Time
+	// runHook, when non-nil, replaces job execution (in-package tests
+	// use it to park jobs deterministically — rejection sampling offers
+	// no natural way to make a real job block on demand).
+	runHook func(ctx context.Context, spec *JobSpec) ([]byte, *execMeta, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Executors == 0 {
+		c.Executors = 2
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.QuotaBurst == 0 {
+		c.QuotaBurst = 8
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 1024
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// execMeta is the per-kind result metadata the executor hands back next
+// to the payload bytes.
+type execMeta struct {
+	rejectionRate float64
+	chunks        int
+	steals        int
+	risk          *decwi.RiskReport
+}
+
+// Job is one submitted job record: spec, lifecycle state, and (once
+// done) the result payload. All mutable state is guarded by mu; done is
+// closed exactly once, on the transition to a terminal state.
+type Job struct {
+	ID   string
+	Spec JobSpec // validated, canonicalized replay tuple
+
+	s         *Scheduler
+	submitted time.Time
+
+	mu            sync.Mutex
+	state         JobState
+	started       time.Time
+	finished      time.Time
+	cancelRun     context.CancelFunc // non-nil only while running
+	userCancelled bool
+	errMsg        string
+	payload       []byte
+	sha           string
+	meta          execMeta
+	done          chan struct{}
+}
+
+// Done is closed when the job reaches a terminal state (the long-poll
+// and drain paths select on it).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the externally visible job record.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		Kind:   j.Spec.Kind,
+		State:  j.state,
+		Tenant: j.Spec.Tenant,
+		Config: j.Spec.Config,
+		Seed:   j.Spec.Seed,
+		Error:  j.errMsg,
+	}
+	switch {
+	case j.started.IsZero():
+		st.QueueWaitUS = j.s.now().Sub(j.submitted).Microseconds()
+	default:
+		st.QueueWaitUS = j.started.Sub(j.submitted).Microseconds()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		st.ServiceUS = j.finished.Sub(j.started).Microseconds()
+	}
+	if j.state == StateDone {
+		st.Bytes = len(j.payload)
+		st.SHA256 = j.sha
+		st.RejectionRate = j.meta.rejectionRate
+		st.Chunks = j.meta.chunks
+		st.Steals = j.meta.steals
+		st.Risk = j.meta.risk
+	}
+	return st
+}
+
+// Payload returns the result bytes and the state they were observed
+// under; the bytes are non-nil only in StateDone.
+func (j *Job) Payload() ([]byte, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.payload, j.state
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately,
+// a running job has its context cancelled (the engine stops at the next
+// chunk boundary). Returns false if the job was already terminal.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.userCancelled = true
+		j.state = StateCancelled
+		j.finished = j.s.now()
+		j.errMsg = "cancelled before start"
+		close(j.done)
+		j.mu.Unlock()
+		j.s.onTerminal(j, StateCancelled)
+		return true
+	case StateRunning:
+		j.userCancelled = true
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// Scheduler admits, queues and multiplexes jobs onto the engine.
+type Scheduler struct {
+	cfg    Config
+	quotas *quotaSet
+	now    func() time.Time
+
+	base  context.Context
+	abort context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *Job
+	jobs     map[string]*Job
+	terminal []string // eviction FIFO of terminal job IDs
+	seq      int64
+
+	wg sync.WaitGroup
+
+	rec        *telemetry.Recorder
+	gDepth     *telemetry.Gauge
+	gInflight  *telemetry.Gauge
+	hQueueWait *telemetry.Histogram
+	hService   *telemetry.Histogram
+}
+
+// New builds a scheduler and starts its executor pool. The pool runs
+// until Drain; every goroutine it starts is joined by Drain.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	rec := cfg.Telemetry
+	s := &Scheduler{
+		cfg:    cfg,
+		quotas: newQuotaSet(cfg.QuotaRate, cfg.QuotaBurst),
+		now:    cfg.now,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   map[string]*Job{},
+		rec:    rec,
+		gDepth: rec.Gauge("serve.queue-depth", "events",
+			"jobs admitted but not yet claimed by an executor"),
+		gInflight: rec.Gauge("serve.jobs-inflight", "events",
+			"jobs currently executing on the engine"),
+		hQueueWait: rec.Histogram("serve.queue-wait-us", "us",
+			"admission-to-execution wait per job — the backpressure signal"),
+		hService: rec.Histogram("serve.service-us", "us",
+			"execution wall time per job (engine run + payload encode)"),
+	}
+	s.base, s.abort = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		go s.executor()
+	}
+	return s
+}
+
+// tenantCounter interns one per-tenant lifecycle counter. Tenant names
+// passed here are always post-validation, so the instance label can
+// never break the metric naming grammar.
+func (s *Scheduler) tenantCounter(stem, tenant, desc string) *telemetry.Counter {
+	return s.rec.Counter(stem+"["+tenant+"]", "events", desc)
+}
+
+// Submit validates spec, applies admission control, and enqueues the
+// job. It never blocks: the outcome is an admitted *Job or a typed
+// rejection (ValidationError, ErrDraining, ErrQueueFull, ErrQuota).
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		return nil, &ValidationError{Err: err}
+	}
+	now := s.now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
+			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
+		return nil, ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
+			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
+		return nil, ErrQueueFull
+	}
+	if !s.quotas.allow(spec.Tenant, now) {
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
+			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
+		return nil, ErrQuota
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j-%08d", s.seq),
+		Spec:      spec,
+		s:         s,
+		submitted: now,
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	// The capacity check above ran under mu and executors only drain the
+	// channel, so this send cannot block; the default arm is pure belt
+	// and braces.
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
+			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	s.gDepth.Add(1)
+	s.tenantCounter("serve.jobs-admitted", spec.Tenant,
+		"jobs accepted into the admission queue").Add(1)
+	return job, nil
+}
+
+// Get returns the job record, or nil if unknown (never submitted, or
+// already evicted).
+func (s *Scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Remove evicts a terminal job record (freeing its payload). Returns
+// false while the job is queued or running — Cancel it first.
+func (s *Scheduler) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return false
+	}
+	delete(s.jobs, id)
+	return true
+}
+
+// Draining reports whether the scheduler has stopped admitting.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits for every admitted job to finish —
+// the SIGTERM semantics: in-flight work completes, new work is rejected
+// with ErrDraining. If ctx expires first the base context is cancelled
+// (running jobs stop at the next chunk boundary and go terminal) and
+// Drain still joins every executor before returning the ctx error.
+// After Drain returns no scheduler goroutine is left running.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Safe: every sender checks s.draining under this same mutex
+		// before touching the channel.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-done
+		return fmt.Errorf("serve: drain aborted: %w", ctx.Err())
+	}
+}
+
+// executor is one pool worker: it claims queued jobs until the queue is
+// closed and drained.
+func (s *Scheduler) executor() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.gDepth.Add(-1)
+		s.runJob(job)
+	}
+}
+
+// runJob executes one claimed job end to end and records its terminal
+// state, payload and telemetry.
+func (s *Scheduler) runJob(job *Job) {
+	start := s.now()
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = start
+	timeout := time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.base, timeout)
+	job.cancelRun = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	s.hQueueWait.Record(start.Sub(job.submitted).Microseconds())
+	s.gInflight.Add(1)
+	payload, meta, err := s.execute(ctx, &job.Spec)
+	finished := s.now()
+	s.gInflight.Add(-1)
+	s.hService.Record(finished.Sub(start).Microseconds())
+
+	job.mu.Lock()
+	job.finished = finished
+	job.cancelRun = nil
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.payload = payload
+		job.sha = digest(payload)
+		if meta != nil {
+			job.meta = *meta
+		}
+	case job.userCancelled || errors.Is(err, context.Canceled):
+		job.state = StateCancelled
+		job.errMsg = "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		job.state = StateFailed
+		job.errMsg = fmt.Sprintf("timeout after %v", timeout)
+	default:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	}
+	state := job.state
+	close(job.done)
+	job.mu.Unlock()
+	s.onTerminal(job, state)
+}
+
+// onTerminal records the lifecycle counter and applies the retention
+// cap to the registry.
+func (s *Scheduler) onTerminal(job *Job, state JobState) {
+	switch state {
+	case StateDone:
+		s.tenantCounter("serve.jobs-done", job.Spec.Tenant,
+			"jobs completed with a result payload").Add(1)
+	case StateCancelled:
+		s.tenantCounter("serve.jobs-cancelled", job.Spec.Tenant,
+			"jobs cancelled by the client or a draining abort").Add(1)
+	default:
+		s.tenantCounter("serve.jobs-failed", job.Spec.Tenant,
+			"jobs that ended in an execution error or timeout").Add(1)
+	}
+	s.mu.Lock()
+	s.terminal = append(s.terminal, job.ID)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.mu.Unlock()
+}
+
+// execute runs the job's workload under ctx. The payload is a pure
+// function of the spec's replay tuple: the engine guarantees the
+// generate bytes, and the risk report is a deterministic function of a
+// seeded Monte-Carlo run.
+func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) ([]byte, *execMeta, error) {
+	if s.cfg.runHook != nil {
+		return s.cfg.runHook(ctx, spec)
+	}
+	switch spec.Kind {
+	case KindGenerate:
+		opt := spec.generateOptions()
+		opt.Telemetry = s.rec
+		res, err := decwi.GenerateParallelContext(ctx, decwi.ConfigID(spec.Config), opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return encodeFloat32LE(res.Values), &execMeta{
+			rejectionRate: res.RejectionRate,
+			chunks:        res.Chunks,
+			steals:        res.Steals,
+		}, nil
+	case KindRisk:
+		// The Monte-Carlo layer has no chunk boundaries to observe a
+		// context at, so only the pre-start check applies; drain still
+		// waits for the run.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		v := spec.Variance
+		if v == 0 {
+			v = 1.39
+		}
+		p, err := decwi.NewUniformPortfolio(spec.Sectors, v, spec.Obligors, spec.PD, spec.Exposure)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := decwi.PortfolioRiskObserved(p, decwi.ConfigID(spec.Config),
+			int(spec.Scenarios), spec.BandUnit, spec.Seed, s.rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload, err := json.Marshal(rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		return payload, &execMeta{risk: rep}, nil
+	default:
+		return nil, nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
+	}
+}

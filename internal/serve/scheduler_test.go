@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// genSpec is a minimal valid generate spec (Config2, 6 work-items).
+func genSpec() JobSpec {
+	return JobSpec{
+		Kind: KindGenerate, Config: 2, Scenarios: 1000, Workers: 1, Tenant: "t1",
+	}
+}
+
+// parkedHook returns a run hook that blocks every job until release is
+// closed (or its context ends), plus the release function.
+func parkedHook() (hook func(context.Context, *JobSpec) ([]byte, *execMeta, error), release func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	hook = func(ctx context.Context, _ *JobSpec) ([]byte, *execMeta, error) {
+		select {
+		case <-ch:
+			return []byte("payload"), &execMeta{}, nil
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	return hook, func() { once.Do(func() { close(ch) }) }
+}
+
+// waitTerminal waits for the job with a test deadline.
+func waitTerminal(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s never reached a terminal state", j.ID)
+	}
+	return j.Status()
+}
+
+// TestSchedulerAdmissionAndDrain is the graceful-drain-under-load
+// contract, leak-checked: a full queue rejects with ErrQueueFull, a
+// draining scheduler rejects with ErrDraining, every admitted job
+// completes, and no goroutine survives Drain.
+func TestSchedulerAdmissionAndDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	hook, release := parkedHook()
+	s := New(Config{Executors: 1, QueueDepth: 2, runHook: hook})
+
+	// One job runs (parked in the hook), two sit in the queue. The
+	// first must be claimed by the executor before the queue is filled,
+	// or the third submission would race against the dequeue.
+	first, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatalf("submit 0: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for first.Status().State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	admitted := []*Job{first}
+	for i := 1; i < 3; i++ {
+		j, err := s.Submit(genSpec())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		admitted = append(admitted, j)
+	}
+	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into full queue returned %v, want ErrQueueFull", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// Draining gate: poll until the flag flips, then submissions must
+	// fail with ErrDraining.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining returned %v, want ErrDraining", err)
+	}
+
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, j := range admitted {
+		st := waitTerminal(t, j)
+		if st.State != StateDone {
+			t.Errorf("admitted job %d ended %s (%s), want done", i, st.State, st.Error)
+		}
+		if string(j.payload) != "payload" {
+			t.Errorf("admitted job %d payload %q", i, j.payload)
+		}
+	}
+
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutine leak after drain: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSchedulerDrainAbort: when the drain context expires, running jobs
+// are cancelled (terminal state cancelled), the drain error names the
+// cause, and the executors are still joined.
+func TestSchedulerDrainAbort(t *testing.T) {
+	hook, release := parkedHook()
+	defer release()
+	s := New(Config{Executors: 1, runHook: hook})
+	j, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("aborted drain returned %v, want deadline error", err)
+	}
+	if st := waitTerminal(t, j); st.State != StateCancelled {
+		t.Fatalf("aborted job ended %s, want cancelled", st.State)
+	}
+}
+
+// TestSchedulerQuota: a tenant exhausting its bucket is rejected with
+// ErrQuota while other tenants still admit; refill restores admission.
+func TestSchedulerQuota(t *testing.T) {
+	clock := time.Unix(5000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	s := New(Config{QuotaRate: 1, QuotaBurst: 2, now: now})
+	defer s.Drain(context.Background())
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(genSpec()); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota submit returned %v, want ErrQuota", err)
+	}
+	other := genSpec()
+	other.Tenant = "t2"
+	if _, err := s.Submit(other); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	mu.Lock()
+	clock = clock.Add(time.Second)
+	mu.Unlock()
+	if _, err := s.Submit(genSpec()); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+}
+
+// TestSchedulerCancel covers both cancellation paths: a queued job goes
+// terminal without ever running, a running job is stopped through its
+// context.
+func TestSchedulerCancel(t *testing.T) {
+	hook, release := parkedHook()
+	defer release()
+	s := New(Config{Executors: 1, QueueDepth: 4, runHook: hook})
+	defer func() {
+		release()
+		s.Drain(context.Background())
+	}()
+
+	running, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for running.Status().State != StateRunning {
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !queued.Cancel() {
+		t.Fatal("cancel of queued job reported not-cancellable")
+	}
+	if st := queued.Status(); st.State != StateCancelled {
+		t.Fatalf("queued job state %s after cancel", st.State)
+	}
+	if !running.Cancel() {
+		t.Fatal("cancel of running job reported not-cancellable")
+	}
+	if st := waitTerminal(t, running); st.State != StateCancelled {
+		t.Fatalf("running job ended %s after cancel", st.State)
+	}
+	// A terminal job is not cancellable again.
+	if running.Cancel() {
+		t.Fatal("cancel of terminal job reported cancellable")
+	}
+}
+
+// TestSchedulerTimeout: a job exceeding its TimeoutMS fails with a
+// timeout error instead of running forever.
+func TestSchedulerTimeout(t *testing.T) {
+	hook, release := parkedHook()
+	defer release()
+	s := New(Config{Executors: 1, runHook: hook})
+	defer func() {
+		release()
+		s.Drain(context.Background())
+	}()
+	spec := genSpec()
+	spec.TimeoutMS = 30
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateFailed || !strings.Contains(st.Error, "timeout") {
+		t.Fatalf("timed-out job ended %s (%q), want failed/timeout", st.State, st.Error)
+	}
+}
+
+// TestSchedulerRetention: terminal records beyond RetainJobs are
+// evicted oldest-first, and Remove evicts eagerly.
+func TestSchedulerRetention(t *testing.T) {
+	s := New(Config{Executors: 1, QueueDepth: 16, RetainJobs: 2,
+		runHook: func(context.Context, *JobSpec) ([]byte, *execMeta, error) {
+			return []byte("x"), &execMeta{}, nil
+		}})
+	defer s.Drain(context.Background())
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(genSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		jobs = append(jobs, j)
+	}
+	if s.Get(jobs[0].ID) != nil || s.Get(jobs[1].ID) != nil {
+		t.Fatal("retention cap did not evict the oldest terminal records")
+	}
+	if s.Get(jobs[3].ID) == nil {
+		t.Fatal("retention evicted a record inside the cap")
+	}
+	if !s.Remove(jobs[3].ID) {
+		t.Fatal("explicit Remove of a terminal record failed")
+	}
+	if s.Get(jobs[3].ID) != nil {
+		t.Fatal("record still present after Remove")
+	}
+}
+
+// TestSchedulerGenerateJob runs one real generate job end to end (no
+// hook): the payload must be non-empty, digested, and carry scheduler
+// metadata.
+func TestSchedulerGenerateJob(t *testing.T) {
+	s := New(Config{Executors: 1})
+	defer s.Drain(context.Background())
+	spec := JobSpec{Kind: KindGenerate, Config: 2, Scenarios: 5000, Sectors: 2, Seed: 11, Workers: 2}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	if st.Bytes != 4*5000*2 {
+		t.Fatalf("payload %d bytes, want %d", st.Bytes, 4*5000*2)
+	}
+	if st.SHA256 == "" || st.Chunks < 1 || st.RejectionRate <= 0 {
+		t.Fatalf("missing result metadata: %+v", st)
+	}
+}

@@ -1,0 +1,328 @@
+// Package serve is the gamma-as-a-service layer: a long-lived job
+// server that multiplexes many concurrent generation and risk requests
+// onto the work-stealing parallel engine.
+//
+// The package splits into three pieces:
+//
+//   - the job model (this file): a JobSpec is the replay tuple — every
+//     byte of a generate job's payload is a pure function of
+//     (Config, Seed, workload options), so re-submitting a spec returns
+//     bitwise-identical bytes, and those bytes equal sequential
+//     decwi.Generate output (the engine's sequential-equivalence
+//     tentpole extends across the network boundary);
+//   - the Scheduler (scheduler.go): bounded admission queue, a fixed
+//     executor pool, per-tenant token-bucket quotas (quota.go),
+//     cancellation/timeout propagation into the engine's context
+//     plumbing, and graceful drain (stop admitting, finish every
+//     admitted job, join every goroutine);
+//   - the HTTP Server (server.go): POST /v1/generate, POST /v1/risk,
+//     GET /v1/jobs/{id} (long-poll with ?wait=), GET /v1/jobs/{id}/result,
+//     DELETE /v1/jobs/{id}, with 429 + Retry-After under admission
+//     pressure and 503 while draining.
+//
+// Telemetry rides on the same live metrics plane as the engine: queue
+// and service histograms, depth/in-flight gauges, and per-tenant
+// admitted/rejected/cancelled counters, all scrapeable from one
+// metricsrv instance.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"regexp"
+	"time"
+
+	decwi "github.com/decwi/decwi"
+)
+
+// JobKind names the two workloads the server runs.
+type JobKind string
+
+const (
+	// KindGenerate produces raw gamma variates: the payload is the
+	// engine's device-layout []float32 encoded little-endian — exactly
+	// the bytes decwi-gammagen writes for the same options.
+	KindGenerate JobKind = "generate"
+	// KindRisk runs the CreditRisk+ Monte-Carlo on a uniform portfolio:
+	// the payload is the decwi.RiskReport as JSON.
+	KindRisk JobKind = "risk"
+)
+
+// JobState is the job lifecycle. queued → running → one terminal state.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// tenantRE constrains tenant names to the charset the metric instance
+// label allows, so per-tenant counters can never break the repo-wide
+// naming lint.
+var tenantRE = regexp.MustCompile(`^[a-z0-9-]{1,32}$`)
+
+// DefaultTenant is assumed when a spec carries no tenant.
+const DefaultTenant = "anon"
+
+// JobSpec is a client job submission — and, for generate jobs, the
+// deterministic replay tuple: two specs with equal workload fields
+// yield bitwise-identical payloads, regardless of scheduling fields,
+// server load, or goroutine interleaving.
+type JobSpec struct {
+	// Kind is implied by the submission endpoint; it is stored so the
+	// job record is self-describing.
+	Kind JobKind `json:"kind,omitempty"`
+	// Config selects the Table I kernel configuration (1-4, or 5 for
+	// the ziggurat extension).
+	Config int `json:"config"`
+	// Seed is the master seed (0 selects the library default, 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Scenarios is the number of gamma values per sector (generate) or
+	// Monte-Carlo scenarios (risk). Required.
+	Scenarios int64 `json:"scenarios"`
+	// Sectors defaults to 1.
+	Sectors int `json:"sectors,omitempty"`
+	// Variance is the sector variance (0 selects the library default,
+	// 1.39); Variances overrides it per sector.
+	Variance  float64   `json:"variance,omitempty"`
+	Variances []float64 `json:"variances,omitempty"`
+	// WorkItems overrides the decoupled pipeline count (0 = the
+	// configuration's place-and-route outcome).
+	WorkItems int `json:"work_items,omitempty"`
+
+	// Scheduling knobs, forwarded to decwi.ParallelOptions. The server
+	// is strict where the library clamps: a remote spec asking for more
+	// shards or bigger chunks than there are work-items is rejected with
+	// 400 instead of silently normalized, so the stored replay tuple is
+	// always canonical. Workers is required (≥ 1): admission control
+	// accounts per-job host parallelism explicitly.
+	Shards         int `json:"shards,omitempty"`
+	Workers        int `json:"workers"`
+	ChunkWorkItems int `json:"chunk_work_items,omitempty"`
+
+	// Tenant scopes quota accounting and the per-tenant counters
+	// (lowercase [a-z0-9-], ≤ 32 chars; empty selects "anon").
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS bounds job execution (0 = the server default). The
+	// deadline propagates into the engine via GenerateParallelContext.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Risk-only portfolio shape (KindRisk): a uniform portfolio of
+	// Obligors loans at probability-of-default PD and unit Exposure,
+	// affiliated round-robin to Sectors. BandUnit > 0 adds the exact
+	// Panjer recursion cross-check.
+	Obligors int     `json:"obligors,omitempty"`
+	PD       float64 `json:"pd,omitempty"`
+	Exposure float64 `json:"exposure,omitempty"`
+	BandUnit float64 `json:"band_unit,omitempty"`
+}
+
+// Limits are the server-side admission bounds a spec is validated
+// against. The zero value of any field selects its default.
+type Limits struct {
+	// MaxScenarios caps Scenarios·Sectors per job (default 1<<26 —
+	// a 256 MiB float32 payload).
+	MaxScenarios int64
+	// MaxJobWorkers caps the per-job engine worker count (default 16).
+	MaxJobWorkers int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxScenarios == 0 {
+		l.MaxScenarios = 1 << 26
+	}
+	if l.MaxJobWorkers == 0 {
+		l.MaxJobWorkers = 16
+	}
+	return l
+}
+
+// Validate checks the spec against the limits and normalizes the
+// defaultable fields (tenant, sectors, risk portfolio shape). It is the
+// single gate between the network and the engine: everything it accepts
+// must run without panicking, everything it rejects maps to HTTP 400.
+func (spec *JobSpec) Validate(l Limits) error {
+	l = l.withDefaults()
+	switch spec.Kind {
+	case KindGenerate, KindRisk:
+	default:
+		return fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+	info, err := decwi.ConfigID(spec.Config).Describe()
+	if err != nil {
+		return fmt.Errorf("config %d: not a known configuration", spec.Config)
+	}
+	if spec.Scenarios < 1 {
+		return fmt.Errorf("scenarios %d must be ≥ 1", spec.Scenarios)
+	}
+	if spec.Sectors == 0 {
+		spec.Sectors = 1
+	}
+	if spec.Sectors < 1 {
+		return fmt.Errorf("sectors %d must be ≥ 1", spec.Sectors)
+	}
+	if total := spec.Scenarios * int64(spec.Sectors); total > l.MaxScenarios {
+		return fmt.Errorf("scenarios·sectors %d exceeds the server cap %d", total, l.MaxScenarios)
+	}
+	if spec.Variance < 0 || math.IsNaN(spec.Variance) || math.IsInf(spec.Variance, 0) {
+		return fmt.Errorf("variance %g must be a finite value ≥ 0 (0 selects the default)", spec.Variance)
+	}
+	for i, v := range spec.Variances {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("variances[%d] = %g must be a finite value > 0", i, v)
+		}
+	}
+	if spec.Variances != nil && len(spec.Variances) != spec.Sectors {
+		return fmt.Errorf("variances has %d entries for %d sectors", len(spec.Variances), spec.Sectors)
+	}
+	if spec.WorkItems < 0 {
+		return fmt.Errorf("work_items %d must be ≥ 0 (0 selects the place-and-route outcome)", spec.WorkItems)
+	}
+	wi := spec.WorkItems
+	if wi == 0 {
+		wi = info.FPGAWorkItems
+	}
+	if spec.Workers < 1 {
+		return fmt.Errorf("workers %d must be ≥ 1 (the server accounts per-job parallelism explicitly; it does not default it)", spec.Workers)
+	}
+	if spec.Workers > l.MaxJobWorkers {
+		return fmt.Errorf("workers %d exceeds the per-job cap %d", spec.Workers, l.MaxJobWorkers)
+	}
+	if spec.Shards < 0 {
+		return fmt.Errorf("shards %d must be ≥ 0 (0 selects an even split)", spec.Shards)
+	}
+	if spec.Shards > wi {
+		return fmt.Errorf("shards %d exceeds the %d work-items of config %d (the server does not silently clamp remote specs)", spec.Shards, wi, spec.Config)
+	}
+	if spec.ChunkWorkItems < 0 {
+		return fmt.Errorf("chunk_work_items %d must be ≥ 0 (0 selects an even split)", spec.ChunkWorkItems)
+	}
+	if spec.ChunkWorkItems > wi {
+		return fmt.Errorf("chunk_work_items %d exceeds the %d work-items of config %d", spec.ChunkWorkItems, wi, spec.Config)
+	}
+	if spec.Seed == 0 {
+		// Canonicalize the replay tuple: the library would default the
+		// seed anyway, and the stored spec must name the value actually
+		// used.
+		spec.Seed = 1
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = DefaultTenant
+	}
+	if !tenantRE.MatchString(spec.Tenant) {
+		return fmt.Errorf("tenant %q must match %s", spec.Tenant, tenantRE)
+	}
+	if spec.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d must be ≥ 0", spec.TimeoutMS)
+	}
+	if spec.Kind == KindRisk {
+		if spec.Scenarios > math.MaxInt32 {
+			return fmt.Errorf("risk scenarios %d exceeds %d", spec.Scenarios, math.MaxInt32)
+		}
+		if spec.Obligors == 0 {
+			spec.Obligors = 100
+		}
+		if spec.Obligors < 1 {
+			return fmt.Errorf("obligors %d must be ≥ 1", spec.Obligors)
+		}
+		if spec.PD == 0 {
+			spec.PD = 0.02
+		}
+		if !(spec.PD > 0 && spec.PD < 1) {
+			return fmt.Errorf("pd %g must lie in (0, 1)", spec.PD)
+		}
+		if spec.Exposure == 0 {
+			spec.Exposure = 100
+		}
+		if !(spec.Exposure > 0) || math.IsInf(spec.Exposure, 0) {
+			return fmt.Errorf("exposure %g must be a finite value > 0", spec.Exposure)
+		}
+		if spec.BandUnit < 0 || math.IsInf(spec.BandUnit, 0) {
+			return fmt.Errorf("band_unit %g must be a finite value ≥ 0", spec.BandUnit)
+		}
+		// Risk runs on a scalar variance: the MC layer draws its sector
+		// gammas from one uniform portfolio definition.
+		if spec.Variances != nil {
+			return fmt.Errorf("risk jobs take a scalar variance, not per-sector variances")
+		}
+	}
+	return nil
+}
+
+// generateOptions maps a validated generate spec onto the facade's
+// parallel options. The mapping is total: every workload field of the
+// replay tuple is forwarded, nothing else is invented.
+func (spec *JobSpec) generateOptions() decwi.ParallelOptions {
+	return decwi.ParallelOptions{
+		GenerateOptions: decwi.GenerateOptions{
+			Scenarios: spec.Scenarios,
+			Sectors:   spec.Sectors,
+			Variance:  spec.Variance,
+			Variances: spec.Variances,
+			WorkItems: spec.WorkItems,
+			Seed:      spec.Seed,
+		},
+		Shards:         spec.Shards,
+		Workers:        spec.Workers,
+		ChunkWorkItems: spec.ChunkWorkItems,
+	}
+}
+
+// JobStatus is the externally visible job record (the GET /v1/jobs/{id}
+// body).
+type JobStatus struct {
+	ID     string   `json:"id"`
+	Kind   JobKind  `json:"kind"`
+	State  JobState `json:"state"`
+	Tenant string   `json:"tenant"`
+	Config int      `json:"config"`
+	Seed   uint64   `json:"seed"`
+	Error  string   `json:"error,omitempty"`
+	// Bytes and SHA256 describe the result payload (terminal done jobs
+	// only). The digest lets a replay check compare two submissions
+	// without downloading either payload.
+	Bytes  int    `json:"bytes,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+	// QueueWaitUS and ServiceUS are the same quantities the
+	// serve.queue-wait-us / serve.service-us histograms aggregate.
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	ServiceUS   int64 `json:"service_us,omitempty"`
+	// Generate-only scheduler echo.
+	RejectionRate float64 `json:"rejection_rate,omitempty"`
+	Chunks        int     `json:"chunks,omitempty"`
+	Steals        int     `json:"steals,omitempty"`
+	// Risk-only report.
+	Risk *decwi.RiskReport `json:"risk,omitempty"`
+}
+
+// encodeFloat32LE renders values as the wire/file format shared with
+// decwi-gammagen: little-endian IEEE-754 float32, device layout. The
+// replay-determinism contract is stated over exactly these bytes.
+func encodeFloat32LE(values []float32) []byte {
+	out := make([]byte, 4*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// digest is the hex SHA-256 the status JSON and the X-Decwi-Sha256
+// response header carry.
+func digest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// retryAfter is the hint returned with 429/503 responses.
+const retryAfter = 1 * time.Second

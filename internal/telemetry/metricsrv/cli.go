@@ -2,12 +2,50 @@ package metricsrv
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/decwi/decwi/internal/telemetry"
 )
+
+// Flags bundles the standard observability flags every decwi CLI
+// exposes (-http, -http-linger). Register them with RegisterFlags
+// before flag.Parse; the six binaries share this struct so their flag
+// names, defaults and help text can never drift apart.
+type Flags struct {
+	// Addr is the -http listen address ("" disables the server).
+	Addr string
+	// Linger is -http-linger: how long the server outlives the run.
+	Linger time.Duration
+}
+
+// RegisterFlags installs the shared observability flags on fs
+// (flag.CommandLine in the CLIs) and returns the struct their parsed
+// values land in.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Addr, "http", "", "serve live metrics on this address (e.g. :9090; \"\" disables)")
+	fs.DurationVar(&f.Linger, "http-linger", 0, "keep the metrics server up this long after the run finishes")
+	return f
+}
+
+// Recorder returns a fresh metrics-only recorder (ring capacity 0) when
+// the server is enabled, nil otherwise — the create-iff--http convention
+// every CLI used to hand-roll. CLIs that want event tracing too (a
+// non-zero ring) build their own recorder and ignore this helper.
+func (f *Flags) Recorder() *telemetry.Recorder {
+	if f.Addr == "" {
+		return nil
+	}
+	return telemetry.New(0)
+}
+
+// Start is StartForCLI on the parsed flag values.
+func (f *Flags) Start(prog string, rec *telemetry.Recorder) (stop func() error, err error) {
+	return StartForCLI(prog, f.Addr, f.Linger, rec)
+}
 
 // StartForCLI is the shared -http flag plumbing of the cmd/ binaries:
 // when addr is non-empty it binds the observability server for rec,

@@ -1,0 +1,65 @@
+package metricsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// CheckSnapshot validates a /snapshot JSON body the way CheckExposition
+// validates the Prometheus text format: the body must be exactly one
+// well-formed snapshot object (unknown fields and trailing data are
+// rejected), every instrument must be named, counter values and deltas
+// must be non-negative, and histogram quantiles must be ordered
+// (p50 ≤ p90 ≤ p99) with an empty histogram carrying no sum or max.
+// It returns the instrument counts per type so callers can assert
+// minimum coverage, mirroring CheckExposition.
+//
+// Delta semantics: the server computes each counter's delta against the
+// previous /snapshot scrape, so a negative delta means a "counter" went
+// backwards — either corruption or a Set-style counter mutating between
+// scrapes, both of which the smoke gates must catch.
+func CheckSnapshot(body []byte) (counters, gauges, histograms int, err error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var b snapshotBody
+	if err := dec.Decode(&b); err != nil {
+		return 0, 0, 0, fmt.Errorf("snapshot is not well-formed JSON: %w", err)
+	}
+	if dec.More() {
+		return 0, 0, 0, errors.New("trailing data after the snapshot object")
+	}
+	for _, c := range b.Counters {
+		if c.Name == "" {
+			return 0, 0, 0, errors.New("counter with empty name")
+		}
+		if c.Value < 0 {
+			return 0, 0, 0, fmt.Errorf("counter %s: negative value %d", c.Name, c.Value)
+		}
+		if c.Delta < 0 {
+			return 0, 0, 0, fmt.Errorf("counter %s: negative delta %d (decreased between scrapes)", c.Name, c.Delta)
+		}
+	}
+	for _, g := range b.Gauges {
+		if g.Name == "" {
+			return 0, 0, 0, errors.New("gauge with empty name")
+		}
+	}
+	for _, h := range b.Histograms {
+		if h.Name == "" {
+			return 0, 0, 0, errors.New("histogram with empty name")
+		}
+		if h.Count < 0 || h.Sum < 0 {
+			return 0, 0, 0, fmt.Errorf("histogram %s: negative count/sum (%d, %d)", h.Name, h.Count, h.Sum)
+		}
+		if h.P50 > h.P90 || h.P90 > h.P99 {
+			return 0, 0, 0, fmt.Errorf("histogram %s: quantiles out of order (p50=%d p90=%d p99=%d)",
+				h.Name, h.P50, h.P90, h.P99)
+		}
+		if h.Count == 0 && (h.Sum != 0 || h.Max != 0) {
+			return 0, 0, 0, fmt.Errorf("histogram %s: empty but sum=%d max=%d", h.Name, h.Sum, h.Max)
+		}
+	}
+	return len(b.Counters), len(b.Gauges), len(b.Histograms), nil
+}

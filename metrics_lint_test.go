@@ -1,12 +1,14 @@
 package decwi_test
 
 import (
+	"context"
 	"regexp"
 	"testing"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/fpga"
 	"github.com/decwi/decwi/internal/perf"
+	"github.com/decwi/decwi/internal/serve"
 	"github.com/decwi/decwi/internal/telemetry"
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
@@ -69,6 +71,22 @@ func TestMetricNamingLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := decwi.PortfolioRiskObserved(p, decwi.Config2, 500, 0, 3, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job-service scheduler: the serve.* gauges/histograms plus the
+	// per-tenant bracket counters ("serve.jobs-admitted[tenant]") must
+	// follow the same grammar as the engine instruments.
+	sched := serve.New(serve.Config{Executors: 1, QueueDepth: 4, Telemetry: rec})
+	job, err := sched.Submit(serve.JobSpec{
+		Kind: serve.KindGenerate, Config: 2, Scenarios: 4096,
+		Sectors: 1, Workers: 1, Seed: 3, Tenant: "lint-tenant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if err := sched.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -97,6 +97,16 @@ var parallelChunkFault func(chunk int) error
 // chunk as they finish rather than owning a static share. The first
 // chunk error cancels all outstanding work.
 func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) {
+	return GenerateParallelContext(context.Background(), c, opt)
+}
+
+// GenerateParallelContext is GenerateParallel bounded by ctx: a
+// cancellation or deadline (a service timeout, a disconnected client, a
+// draining server) stops the scheduler at the next chunk or work-item
+// boundary and returns the cause instead of a result. A run that
+// completes is unaffected by how it was bounded — the bytes depend only
+// on the GenerateOptions, never on the context.
+func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOptions) (*ParallelResult, error) {
 	k, err := c.kernel()
 	if err != nil {
 		return nil, err
@@ -129,7 +139,7 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 		"scheduler workers currently executing a chunk")
 	stealLabel := rec.Intern("steal")
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	var (
@@ -199,6 +209,12 @@ func GenerateParallel(c ConfigID, opt ParallelOptions) (*ParallelResult, error) 
 
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, err
+	}
+	// An external cancellation can empty the claim loop without any chunk
+	// reporting an error (a worker observing ctx.Err() simply returns);
+	// the partial buffer must not escape as a result.
+	if err := parent.Err(); err != nil {
+		return nil, fmt.Errorf("decwi: parallel generation cancelled: %w", err)
 	}
 
 	executed := int(cursor.Load())

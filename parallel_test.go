@@ -1,6 +1,8 @@
 package decwi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -213,6 +215,56 @@ func TestGenerateParallelCancelOnFault(t *testing.T) {
 	}
 	// All workers are joined before GenerateParallel returns; allow the
 	// runtime a moment to retire exiting goroutines.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGenerateParallelContextCancel: an external cancellation (the
+// service layer's timeout/disconnect path) stops the run at the next
+// chunk boundary, returns the context's error instead of a partial
+// buffer, and joins every scheduler goroutine.
+func TestGenerateParallelContextCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Already-cancelled context: the claim loop must not execute a chunk.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := GenerateParallelContext(pre, Config2, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 4000, Sectors: 2, Seed: 5},
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-run, injected between chunk claims via the same
+	// hook the fault test uses (rejection sampling offers no natural way
+	// to park a chunk).
+	ctx, cancel := context.WithCancel(context.Background())
+	var claims atomic.Int64
+	parallelChunkFault = func(int) error {
+		if claims.Add(1) == 2 {
+			cancel()
+		}
+		return nil
+	}
+	defer func() { parallelChunkFault = nil; cancel() }()
+	_, err := GenerateParallelContext(ctx, Config3, ParallelOptions{
+		GenerateOptions: GenerateOptions{Scenarios: 4000, Sectors: 2, Seed: 9},
+		Workers:         2, ChunkWorkItems: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if n := claims.Load(); n >= 8 {
+		t.Errorf("cancellation did not stop the claim loop: %d of 8 chunks claimed", n)
+	}
+
 	for i := 0; ; i++ {
 		if runtime.NumGoroutine() <= before {
 			break

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Service latency/throughput baseline: boots decwi-served, sweeps the
+# decwi-loadgen closed-loop harness across concurrency levels and writes
+# BENCH_6.json at the repository root — p50/p99/mean job latency plus
+# jobs/s and payload MB/s at each level, so the saturation point of the
+# admission-controlled service is a committed, diffable artifact.
+# Usage: scripts/bench_serve.sh [output.json] [concurrency levels...]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_6.json}"
+if [ $# -ge 1 ]; then shift; fi
+levels="${*:-1 4 16}"
+
+BENCH_TMP=$(mktemp -d)
+SERVED_PID=""
+cleanup() {
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true
+    rm -rf "$BENCH_TMP"
+}
+trap cleanup EXIT
+
+go build -o "$BENCH_TMP/decwi-served" ./cmd/decwi-served
+go build -o "$BENCH_TMP/decwi-loadgen" ./cmd/decwi-loadgen
+
+"$BENCH_TMP/decwi-served" -addr 127.0.0.1:0 -executors 4 -queue-depth 64 \
+    2> "$BENCH_TMP/served.log" &
+SERVED_PID=$!
+
+API_URL=""
+for _ in $(seq 1 100); do
+    API_URL=$(sed -n 's#.*API on \(http://[^ ]*\) .*#\1#p' "$BENCH_TMP/served.log")
+    [ -n "$API_URL" ] && break
+    sleep 0.1
+done
+if [ -z "$API_URL" ]; then
+    echo "bench_serve: API address never appeared in served log" >&2
+    cat "$BENCH_TMP/served.log" >&2
+    exit 1
+fi
+
+# One loadgen -json line per concurrency level; each request generates
+# config 2 x 20000 scenarios x 2 sectors (160 KB payloads).
+: > "$BENCH_TMP/levels.jsonl"
+for c in $levels; do
+    echo "bench_serve: concurrency $c ..." >&2
+    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json \
+        -requests $((c * 8)) -concurrency "$c" \
+        -config 2 -scenarios 20000 -sectors 2 -workers 2 \
+        >> "$BENCH_TMP/levels.jsonl"
+done
+
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID" || { echo "bench_serve: served exited non-zero" >&2; exit 1; }
+SERVED_PID=""
+
+cpu=$(sed -n 's/^model name[^:]*: *//p' /proc/cpuinfo 2>/dev/null | head -1)
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cpu="$cpu" '
+{ n++; lines[n] = "    " $0 }
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"levels\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}' "$BENCH_TMP/levels.jsonl" > "$out"
+
+echo "wrote $out ($(grep -c 'concurrency' "$out") concurrency levels)"

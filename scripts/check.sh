@@ -55,6 +55,12 @@ go test -run '^$' -bench BenchmarkHistogramRecord -benchtime 1x ./internal/telem
 echo "== live metrics smoke (decwi-gammagen -http + decwi-promcheck)"
 sh scripts/metrics_smoke.sh
 
+# Service smoke: boot decwi-served on ephemeral ports, prove replay
+# determinism over HTTP, run a risk batch, validate the live metrics
+# plane, and require a clean SIGTERM drain.
+echo "== service smoke (decwi-served + decwi-loadgen + decwi-promcheck)"
+sh scripts/serve_smoke.sh
+
 # Baseline-diff smoke: the self-compare must always be delta-free, so
 # the comparer itself can never silently rot; the BENCH_3 -> BENCH_4
 # cross-PR diff is informational (different machines, different trees).

@@ -42,5 +42,8 @@ fi
     -min-counters 3 -min-gauges 1 -min-histograms 1
 HEALTH_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/healthz#')
 "$METRICS_TMP/decwi-promcheck" -url "$HEALTH_URL" -healthz
+SNAPSHOT_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/snapshot#')
+"$METRICS_TMP/decwi-promcheck" -url "$SNAPSHOT_URL" -snapshot \
+    -min-counters 3 -min-gauges 1 -min-histograms 1
 
 echo "metrics smoke: OK"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Service smoke: boot decwi-served on ephemeral ports, drive it with
+# decwi-loadgen (one generate replay-determinism check + a risk batch),
+# validate its live /metrics exposition and /snapshot JSON with
+# decwi-promcheck, then SIGTERM it and require a clean graceful drain
+# (exit 0). No curl/jq needed — the loadgen client is the harness.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SERVE_TMP=$(mktemp -d)
+SERVED_PID=""
+cleanup() {
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true
+    rm -rf "$SERVE_TMP"
+}
+trap cleanup EXIT
+
+go build -o "$SERVE_TMP/decwi-served" ./cmd/decwi-served
+go build -o "$SERVE_TMP/decwi-loadgen" ./cmd/decwi-loadgen
+go build -o "$SERVE_TMP/decwi-promcheck" ./cmd/decwi-promcheck
+
+"$SERVE_TMP/decwi-served" -addr 127.0.0.1:0 -http 127.0.0.1:0 \
+    -executors 2 -drain-timeout 30s 2> "$SERVE_TMP/served.log" &
+SERVED_PID=$!
+
+# Both servers bind before jobs run and announce their resolved
+# ephemeral addresses on stderr; poll the log until both appear.
+API_URL=""
+METRICS_URL=""
+for _ in $(seq 1 100); do
+    API_URL=$(sed -n 's#.*API on \(http://[^ ]*\) .*#\1#p' "$SERVE_TMP/served.log")
+    METRICS_URL=$(sed -n 's#.*metrics on \(http://[^ ]*/metrics\).*#\1#p' "$SERVE_TMP/served.log")
+    [ -n "$API_URL" ] && [ -n "$METRICS_URL" ] && break
+    sleep 0.1
+done
+if [ -z "$API_URL" ] || [ -z "$METRICS_URL" ]; then
+    echo "serve smoke: server addresses never appeared in served log" >&2
+    cat "$SERVE_TMP/served.log" >&2
+    exit 1
+fi
+
+# Replay determinism over the wire: the same (seed, config) tuple twice
+# must return bitwise-identical payloads.
+"$SERVE_TMP/decwi-loadgen" -url "$API_URL" -replay -config 2 -scenarios 30000
+
+# A small risk batch exercises the second workload end to end.
+"$SERVE_TMP/decwi-loadgen" -url "$API_URL" -kind risk -requests 2 -concurrency 2 -scenarios 20000
+
+# The serve.* instruments must be live on the same metrics plane the
+# other CLIs use, and the /snapshot JSON must validate across scrapes.
+"$SERVE_TMP/decwi-promcheck" -url "$METRICS_URL" \
+    -min-counters 3 -min-gauges 2 -min-histograms 2
+SNAPSHOT_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/snapshot#')
+"$SERVE_TMP/decwi-promcheck" -url "$SNAPSHOT_URL" -snapshot \
+    -min-counters 3 -min-gauges 2 -min-histograms 2
+
+# Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
+kill -TERM "$SERVED_PID"
+EXIT_CODE=0
+wait "$SERVED_PID" || EXIT_CODE=$?
+SERVED_PID=""
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "serve smoke: decwi-served exited $EXIT_CODE after SIGTERM" >&2
+    cat "$SERVE_TMP/served.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$SERVE_TMP/served.log" || {
+    echo "serve smoke: served log missing drain confirmation" >&2
+    cat "$SERVE_TMP/served.log" >&2
+    exit 1
+}
+
+echo "serve smoke: OK"
