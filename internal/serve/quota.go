@@ -19,9 +19,16 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// quotaSet tracks every tenant's bucket under one lock; tenant
-// cardinality is bounded by the tenant name grammar and the admission
-// rate, so a map is enough.
+// maxQuotaBuckets caps how many distinct tenants hold live buckets at
+// once. Tenant names are client-supplied, so without a cap a client
+// cycling names grows server memory without bound; at the cap the
+// longest-idle bucket is evicted. An evicted tenant that returns
+// starts over with a full bucket — a bounded generosity, never a
+// bounded memory leak.
+const maxQuotaBuckets = 1024
+
+// quotaSet tracks per-tenant buckets under one lock, bounded at
+// maxQuotaBuckets distinct tenants (longest-idle evicted first).
 type quotaSet struct {
 	mu      sync.Mutex
 	rate    float64 // tokens per second; ≤ 0 disables quotas
@@ -36,6 +43,20 @@ func newQuotaSet(rate float64, burst int) *quotaSet {
 	return &quotaSet{rate: rate, burst: float64(burst), buckets: map[string]*tokenBucket{}}
 }
 
+// evictIdlest drops the bucket with the oldest refill timestamp. Called
+// with mu held, only when the set is at capacity; a linear scan over a
+// bounded map is cheap relative to the admission path it guards.
+func (q *quotaSet) evictIdlest() {
+	var victim string
+	var oldest time.Time
+	for tenant, b := range q.buckets {
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = tenant, b.last
+		}
+	}
+	delete(q.buckets, victim)
+}
+
 // allow spends one token from tenant's bucket at time now, reporting
 // whether the submission is within quota. A first-seen tenant starts
 // with a full bucket.
@@ -47,6 +68,9 @@ func (q *quotaSet) allow(tenant string, now time.Time) bool {
 	defer q.mu.Unlock()
 	b := q.buckets[tenant]
 	if b == nil {
+		if len(q.buckets) >= maxQuotaBuckets {
+			q.evictIdlest()
+		}
 		b = &tokenBucket{tokens: q.burst, last: now}
 		q.buckets[tenant] = b
 	}

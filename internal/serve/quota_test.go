@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -49,5 +50,34 @@ func TestQuotaTokenBucket(t *testing.T) {
 		if !off.allow("a", t0) {
 			t.Fatal("disabled quota rejected a submission")
 		}
+	}
+}
+
+// TestQuotaBucketCap: tenant names are client-supplied, so the bucket
+// map is bounded at maxQuotaBuckets — at capacity the longest-idle
+// bucket is evicted rather than the map growing without limit.
+func TestQuotaBucketCap(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	q := newQuotaSet(1, 1)
+	for i := 0; i < maxQuotaBuckets; i++ {
+		// Strictly increasing timestamps make tenant 0 the idlest.
+		q.allow(fmt.Sprintf("t-%04d", i), t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	if len(q.buckets) != maxQuotaBuckets {
+		t.Fatalf("%d buckets after %d tenants, want exactly the cap", len(q.buckets), maxQuotaBuckets)
+	}
+	q.allow("t-overflow", t0.Add(time.Hour))
+	if len(q.buckets) != maxQuotaBuckets {
+		t.Fatalf("%d buckets after overflow tenant, cap not enforced", len(q.buckets))
+	}
+	if q.buckets["t-0000"] != nil {
+		t.Fatal("longest-idle bucket survived the eviction")
+	}
+	if q.buckets["t-overflow"] == nil {
+		t.Fatal("overflow tenant has no bucket after admission")
+	}
+	// An evicted tenant that returns starts over with a full bucket.
+	if !q.allow("t-0000", t0.Add(2*time.Hour)) {
+		t.Fatal("returning evicted tenant rejected despite a fresh bucket")
 	}
 }

@@ -146,10 +146,14 @@ func (j *Job) Status() JobStatus {
 		Error:  j.errMsg,
 	}
 	switch {
-	case j.started.IsZero():
-		st.QueueWaitUS = j.s.now().Sub(j.submitted).Microseconds()
-	default:
+	case !j.started.IsZero():
 		st.QueueWaitUS = j.started.Sub(j.submitted).Microseconds()
+	case j.state.Terminal():
+		// Cancelled before an executor ever claimed it: the wait ended
+		// at the terminal transition, not at observation time.
+		st.QueueWaitUS = j.finished.Sub(j.submitted).Microseconds()
+	default:
+		st.QueueWaitUS = j.s.now().Sub(j.submitted).Microseconds()
 	}
 	if !j.finished.IsZero() && !j.started.IsZero() {
 		st.ServiceUS = j.finished.Sub(j.started).Microseconds()
@@ -225,7 +229,26 @@ type Scheduler struct {
 	gInflight  *telemetry.Gauge
 	hQueueWait *telemetry.Histogram
 	hService   *telemetry.Histogram
+
+	// labelMu/labels bound per-tenant metric cardinality: tenant names
+	// are client-supplied, and each distinct name interns counters
+	// permanently in the recorder. Beyond maxTenantLabels distinct
+	// tenants, further names fold into the catch-all label.
+	labelMu sync.Mutex
+	labels  map[string]struct{}
 }
+
+// maxTenantLabels caps how many distinct tenant names get their own
+// serve.* counter instances; the rest share tenantOverflowLabel. The
+// quota buckets have their own, larger cap (maxQuotaBuckets) — folding
+// there would let tenants share buckets, which matters; shared metric
+// lines only lose per-tenant attribution.
+const maxTenantLabels = 64
+
+// tenantOverflowLabel is the catch-all instance label once the tenant
+// label set is full. It matches the tenant grammar, so a real tenant of
+// this name simply shares the line.
+const tenantOverflowLabel = "other-tenants"
 
 // New builds a scheduler and starts its executor pool. The pool runs
 // until Drain; every goroutine it starts is joined by Drain.
@@ -238,6 +261,7 @@ func New(cfg Config) *Scheduler {
 		now:    cfg.now,
 		queue:  make(chan *Job, cfg.QueueDepth),
 		jobs:   map[string]*Job{},
+		labels: map[string]struct{}{},
 		rec:    rec,
 		gDepth: rec.Gauge("serve.queue-depth", "events",
 			"jobs admitted but not yet claimed by an executor"),
@@ -258,9 +282,27 @@ func New(cfg Config) *Scheduler {
 
 // tenantCounter interns one per-tenant lifecycle counter. Tenant names
 // passed here are always post-validation, so the instance label can
-// never break the metric naming grammar.
+// never break the metric naming grammar; cardinality is bounded by
+// tenantLabel's fold.
 func (s *Scheduler) tenantCounter(stem, tenant, desc string) *telemetry.Counter {
-	return s.rec.Counter(stem+"["+tenant+"]", "events", desc)
+	return s.rec.Counter(stem+"["+s.tenantLabel(tenant)+"]", "events", desc)
+}
+
+// tenantLabel maps a tenant name onto its metric instance label. The
+// first maxTenantLabels distinct names keep their own label; later
+// ones fold into tenantOverflowLabel so client-chosen names cannot
+// grow the recorder without bound.
+func (s *Scheduler) tenantLabel(tenant string) string {
+	s.labelMu.Lock()
+	defer s.labelMu.Unlock()
+	if _, ok := s.labels[tenant]; ok {
+		return tenant
+	}
+	if len(s.labels) >= maxTenantLabels {
+		return tenantOverflowLabel
+	}
+	s.labels[tenant] = struct{}{}
+	return tenant
 }
 
 // Submit validates spec, applies admission control, and enqueues the
@@ -299,12 +341,17 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	// Depth is incremented before the send so an executor claiming the
+	// job immediately can never decrement first (the gauge would read a
+	// transient -1 otherwise).
+	s.gDepth.Add(1)
 	// The capacity check above ran under mu and executors only drain the
 	// channel, so this send cannot block; the default arm is pure belt
 	// and braces.
 	select {
 	case s.queue <- job:
 	default:
+		s.gDepth.Add(-1)
 		s.mu.Unlock()
 		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
 			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
@@ -312,7 +359,6 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
-	s.gDepth.Add(1)
 	s.tenantCounter("serve.jobs-admitted", spec.Tenant,
 		"jobs accepted into the admission queue").Add(1)
 	return job, nil
@@ -414,7 +460,7 @@ func (s *Scheduler) runJob(job *Job) {
 
 	s.hQueueWait.Record(start.Sub(job.submitted).Microseconds())
 	s.gInflight.Add(1)
-	payload, meta, err := s.execute(ctx, &job.Spec)
+	payload, meta, err := s.executeRecovering(ctx, &job.Spec)
 	finished := s.now()
 	s.gInflight.Add(-1)
 	s.hService.Record(finished.Sub(start).Microseconds())
@@ -467,6 +513,20 @@ func (s *Scheduler) onTerminal(job *Job, state JobState) {
 		s.terminal = s.terminal[1:]
 	}
 	s.mu.Unlock()
+}
+
+// executeRecovering is the panic barrier between one job and the rest
+// of the server: Validate is the contract gate, but a spec that slips
+// through it (or an engine bug) must fail that one job, not kill the
+// executor goroutine and with it the whole process.
+func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec) (payload []byte, meta *execMeta, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			payload, meta = nil, nil
+			err = fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	return s.execute(ctx, spec)
 }
 
 // execute runs the job's workload under ctx. The payload is a pure

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -259,6 +260,103 @@ func TestSchedulerRetention(t *testing.T) {
 	}
 	if s.Get(jobs[3].ID) != nil {
 		t.Fatal("record still present after Remove")
+	}
+}
+
+// TestSchedulerPanicBarrier: a panic inside job execution fails that
+// one job with a descriptive error instead of killing the executor
+// goroutine — the pool keeps servicing later jobs.
+func TestSchedulerPanicBarrier(t *testing.T) {
+	s := New(Config{Executors: 1, runHook: func(_ context.Context, spec *JobSpec) ([]byte, *execMeta, error) {
+		if spec.Tenant == "boom" {
+			panic("synthetic executor panic")
+		}
+		return []byte("ok"), &execMeta{}, nil
+	}})
+	defer s.Drain(context.Background())
+
+	bad := genSpec()
+	bad.Tenant = "boom"
+	j, err := s.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicking job ended %s (%q), want failed/panicked", st.State, st.Error)
+	}
+	// The executor survived the panic: a follow-up job still completes.
+	j2, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j2); st.State != StateDone {
+		t.Fatalf("post-panic job ended %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestSchedulerCancelledQueueWait: a job cancelled before any executor
+// claims it reports the queue wait up to its terminal transition — the
+// figure must not keep growing with wall-clock time afterwards.
+func TestSchedulerCancelledQueueWait(t *testing.T) {
+	clock := time.Unix(9000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	tick := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+	hook, release := parkedHook()
+	s := New(Config{Executors: 1, QueueDepth: 4, runHook: hook, now: now})
+	defer func() {
+		release()
+		s.Drain(context.Background())
+	}()
+
+	running, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for running.Status().State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := s.Submit(genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick(5 * time.Millisecond)
+	if !queued.Cancel() {
+		t.Fatal("cancel of queued job reported not-cancellable")
+	}
+	got := queued.Status().QueueWaitUS
+	if got != 5000 {
+		t.Fatalf("cancelled-while-queued wait %d µs, want 5000", got)
+	}
+	tick(time.Hour)
+	if again := queued.Status().QueueWaitUS; again != got {
+		t.Fatalf("queue wait grew from %d to %d µs after terminal state", got, again)
+	}
+}
+
+// TestTenantLabelFold: the first maxTenantLabels distinct tenants keep
+// their own metric label, later ones fold into the catch-all, and
+// already-interned names stay stable — client-chosen tenant names
+// cannot grow the recorder without bound.
+func TestTenantLabelFold(t *testing.T) {
+	s := New(Config{})
+	defer s.Drain(context.Background())
+	for i := 0; i < maxTenantLabels; i++ {
+		name := fmt.Sprintf("t-%03d", i)
+		if got := s.tenantLabel(name); got != name {
+			t.Fatalf("tenant %q folded to %q inside the label cap", name, got)
+		}
+	}
+	if got := s.tenantLabel("one-too-many"); got != tenantOverflowLabel {
+		t.Fatalf("tenant beyond the cap got label %q, want %q", got, tenantOverflowLabel)
+	}
+	if got := s.tenantLabel("t-000"); got != "t-000" {
+		t.Fatalf("interned tenant lost its label: %q", got)
 	}
 }
 

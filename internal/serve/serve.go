@@ -172,8 +172,12 @@ func (spec *JobSpec) Validate(l Limits) error {
 	if spec.Sectors < 1 {
 		return fmt.Errorf("sectors %d must be ≥ 1", spec.Sectors)
 	}
-	if total := spec.Scenarios * int64(spec.Sectors); total > l.MaxScenarios {
-		return fmt.Errorf("scenarios·sectors %d exceeds the server cap %d", total, l.MaxScenarios)
+	// Overflow-safe form of scenarios·sectors > MaxScenarios: both
+	// factors are ≥ 1 here, so the product is over the cap exactly when
+	// scenarios exceeds the per-sector budget — and the division can
+	// never wrap the way the product can.
+	if spec.Scenarios > l.MaxScenarios/int64(spec.Sectors) {
+		return fmt.Errorf("scenarios·sectors %d·%d exceeds the server cap %d", spec.Scenarios, spec.Sectors, l.MaxScenarios)
 	}
 	if spec.Variance < 0 || math.IsNaN(spec.Variance) || math.IsInf(spec.Variance, 0) {
 		return fmt.Errorf("variance %g must be a finite value ≥ 0 (0 selects the default)", spec.Variance)

@@ -184,6 +184,12 @@ func TestServerValidationErrors(t *testing.T) {
 		{"unknown config", "/v1/generate", func(m map[string]any) { m["config"] = 9 }, "config 9"},
 		{"zero scenarios", "/v1/generate", func(m map[string]any) { m["scenarios"] = 0 }, "scenarios 0"},
 		{"oversized workload", "/v1/generate", func(m map[string]any) { m["scenarios"] = int64(1) << 40 }, "server cap"},
+		{"overflowing workload", "/v1/generate", func(m map[string]any) {
+			// scenarios·sectors wraps int64 to 0; the cap check must
+			// reject on the pre-multiplication values, not the wrap.
+			m["scenarios"] = int64(1) << 62
+			m["sectors"] = 4
+		}, "server cap"},
 		{"negative sectors", "/v1/generate", func(m map[string]any) { m["sectors"] = -2 }, "sectors -2"},
 		{"variances mismatch", "/v1/generate", func(m map[string]any) { m["variances"] = []float64{1, 2, 3} }, "variances has 3"},
 		{"non-finite variance", "/v1/generate", func(m map[string]any) { m["variance"] = -1.0 }, "variance -1"},
