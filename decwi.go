@@ -125,6 +125,20 @@ type GenerateOptions struct {
 	BurstRNs int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// StreamOffset fast-forwards every work-item's Mersenne-Twister
+	// streams by this many state words before generation — an O(log n)
+	// seek through each stream. 0 (the default) starts at the seed state,
+	// keeping all pre-existing replay tuples byte-identical; a nonzero
+	// offset deterministically selects a later window of the same
+	// per-seed streams (checkpoint/resume, partitioning one seed across
+	// processes). The (Seed, StreamOffset) pair fully determines the
+	// stream positions.
+	StreamOffset uint64
+	// SequentialSeek applies StreamOffset by stepping the streams word
+	// by word instead of jumping. Output is bitwise-identical either
+	// way; like PerValueTransport, the knob exists for equivalence tests
+	// and benchmarks.
+	SequentialSeek bool
 	// PerValueTransport selects the engine's pre-burst transport (one
 	// stream operation per float32) instead of the default WordRNs-sized
 	// batches. Output is bitwise-identical either way; the knob exists

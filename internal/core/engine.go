@@ -56,6 +56,19 @@ type Config struct {
 	// co-simulation and cycle-level stall tracing, where per-cycle
 	// interleaving is observable.
 	GatedCompute bool
+	// StreamOffset fast-forwards every work-item's four Mersenne-Twister
+	// streams by this many state words before generation begins — an
+	// O(log n) seek through each stream (mt.Core.Jump). The default 0
+	// leaves every stream at its seed state, so all pre-existing replay
+	// tuples stay byte-identical; a nonzero offset deterministically
+	// selects a later window of the same per-seed streams, which is what
+	// checkpoint/resume and multi-process stream partitioning build on.
+	StreamOffset uint64
+	// SequentialSeek applies StreamOffset by stepping the streams one
+	// word at a time instead of jumping. The two are bitwise-equivalent
+	// (TestStreamOffsetSeekEquivalence); like PerValueTransport, the knob
+	// exists for equivalence tests and benchmarks, not production use.
+	SequentialSeek bool
 	// BreakID is the counter delay index of Listing 2 ("here it
 	// suffices to use zero").
 	BreakID int
@@ -256,6 +269,7 @@ func (e *Engine) Run() (*RunResult, error) {
 		gen := gamma.NewGenerator(cfg.Transform, cfg.MTParams,
 			gamma.MustFromVariance(cfg.variance(0)), wiSeeds[wid])
 		e.instrumentTrips(gen)
+		e.seekStreams(gen, 0)
 
 		procs = append(procs,
 			hls.Process{

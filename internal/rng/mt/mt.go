@@ -89,6 +89,13 @@ type Core struct {
 	lowerMask  uint32
 	haveCached bool
 	cached     uint32 // tempered output for the current index (Peek cache)
+	// offset counts state words consumed since the last (re)seed; it is
+	// what Jump fast-forwards and what checkpoint/resume round-trips
+	// (see jump.go).
+	offset uint64
+	// scramble, when nonzero, is the key of the stateless per-position
+	// output scrambler applied on top of tempering (Decorrelate).
+	scramble uint64
 }
 
 // New returns a Core with the given parameters, seeded with seed.
@@ -124,6 +131,11 @@ func (c *Core) Seed(seed uint64) {
 	for i := 0; i < c.p.N; i++ {
 		c.Advance()
 	}
+	// A reseeded core starts a canonical stream: position zero, no
+	// scrambler. This keeps pooled generators (core.getGenerator) clean —
+	// Jump/Decorrelate on one run can never leak into the next.
+	c.offset = 0
+	c.scramble = 0
 }
 
 // SeedRef initializes the state exactly like init_genrand of the 2002
@@ -136,6 +148,8 @@ func (c *Core) SeedRef(s uint32) {
 	}
 	c.idx = 0
 	c.haveCached = false
+	c.offset = 0
+	c.scramble = 0
 }
 
 // twist computes the next state word at the current index without storing
@@ -165,6 +179,9 @@ func (c *Core) temper(x uint32) uint32 {
 func (c *Core) Peek() uint32 {
 	if !c.haveCached {
 		c.cached = c.temper(c.twist())
+		if c.scramble != 0 {
+			c.cached ^= scramble32(c.scramble, c.offset)
+		}
 		c.haveCached = true
 	}
 	return c.cached
@@ -177,6 +194,7 @@ func (c *Core) Advance() {
 	c.state[c.idx] = c.twist()
 	c.idx = (c.idx + 1) % c.p.N
 	c.haveCached = false
+	c.offset++
 }
 
 // Uint32 consumes and returns the next word (rng.Source32).
@@ -214,12 +232,14 @@ func (c *Core) FillUint32(dst []uint32) {
 	if len(dst) == 0 {
 		return
 	}
+	off0 := c.offset
 	k := 0
 	if c.haveCached {
-		dst[0] = c.cached
+		dst[0] = c.cached // already scrambled by Peek when a key is set
 		c.Advance()
 		k = 1
 	}
+	scrambleFrom := k
 	n, m := c.p.N, c.p.M
 	st := c.state
 	up, lo, a := c.upperMask, c.lowerMask, c.p.A
@@ -287,6 +307,12 @@ func (c *Core) FillUint32(dst []uint32) {
 		}
 	}
 	c.idx = i
+	c.offset = off0 + uint64(len(dst))
+	if c.scramble != 0 {
+		for j := scrambleFrom; j < len(dst); j++ {
+			dst[j] ^= scramble32(c.scramble, off0+uint64(j))
+		}
+	}
 }
 
 // StateLen returns the number of 32-bit state words (624 or 17 for the
@@ -301,7 +327,7 @@ func (c *Core) Params() Params { return c.p }
 // lockstep simulator to replay identical streams across execution models.
 func (c *Core) Clone() *Core {
 	n := &Core{p: c.p, idx: c.idx, upperMask: c.upperMask, lowerMask: c.lowerMask,
-		haveCached: c.haveCached, cached: c.cached}
+		haveCached: c.haveCached, cached: c.cached, offset: c.offset, scramble: c.scramble}
 	n.state = append([]uint32(nil), c.state...)
 	return n
 }

@@ -1,0 +1,186 @@
+package mt
+
+// poly.go — F2[x] polynomial arithmetic on uint64 limbs, sized for the
+// characteristic polynomials of the twist recurrence (degree 19937 for
+// MT19937, 521 for MT521). This is the machinery behind Core.Jump: the
+// Mersenne-Twister state transition is F2-linear, so advancing a stream
+// by n words is the matrix power A^n, and A^n·v can be evaluated as
+// g(A)·v where g(x) = x^n mod p(x) for any p annihilating A — turning
+// an O(n) sequential walk into O(N²·log n) word operations ("Modular
+// exponentiation of matrices on FPGA-s"; Haramoto et al., Efficient
+// Jump Ahead for F2-Linear Random Number Generators).
+//
+// A polynomial is a little-endian bitset: bit i of limb i/64 is the
+// coefficient of x^i.
+
+import "math/bits"
+
+type fpoly []uint64
+
+// polyWords returns the limb count needed to hold degrees 0..deg.
+func polyWords(deg int) int { return deg>>6 + 1 }
+
+func (p fpoly) bit(i int) uint64 {
+	return p[i>>6] >> (uint(i) & 63) & 1
+}
+
+func (p fpoly) setBit(i int) {
+	p[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// degree returns the position of the highest set coefficient, or -1 for
+// the zero polynomial.
+func (p fpoly) degree() int {
+	for j := len(p) - 1; j >= 0; j-- {
+		if p[j] != 0 {
+			return j<<6 + 63 - bits.LeadingZeros64(p[j])
+		}
+	}
+	return -1
+}
+
+// spread32 interleaves the 32 bits of x with zeros: bit i of x lands at
+// bit 2i of the result. Squaring over F2 is exactly this bit spread
+// (cross terms cancel in characteristic 2).
+func spread32(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// polySquare returns a², sized to 2·len(a) limbs.
+func polySquare(a fpoly) fpoly {
+	out := make(fpoly, 2*len(a))
+	for j, w := range a {
+		if w == 0 {
+			continue
+		}
+		out[2*j] = spread32(uint32(w))
+		out[2*j+1] = spread32(uint32(w >> 32))
+	}
+	return out
+}
+
+// polyXorShift computes a ^= m<<s, where m carries coefficients up to
+// degree dm. The caller guarantees a has room for bit dm+s.
+func polyXorShift(a, m fpoly, s, dm int) {
+	ws, bs := s>>6, uint(s)&63
+	mw := polyWords(dm)
+	if bs == 0 {
+		for j := 0; j < mw; j++ {
+			a[j+ws] ^= m[j]
+		}
+		return
+	}
+	var carry uint64
+	for j := 0; j < mw; j++ {
+		w := m[j]
+		a[j+ws] ^= w<<bs | carry
+		carry = w >> (64 - bs)
+	}
+	if carry != 0 {
+		a[mw+ws] ^= carry
+	}
+}
+
+// polyReduce reduces a modulo m (deg m == dm) in place.
+func polyReduce(a, m fpoly, dm int) {
+	for i := a.degree(); i >= dm; i-- {
+		if a.bit(i) != 0 {
+			polyXorShift(a, m, i-dm, dm)
+		}
+	}
+}
+
+// polyMulXMod multiplies g by x modulo m (deg m == dm) in place.
+// g holds degrees < dm across polyWords(dm-1) limbs.
+func polyMulXMod(g, m fpoly, dm int) {
+	var carry uint64
+	for j := range g {
+		w := g[j]
+		g[j] = w<<1 | carry
+		carry = w >> 63
+	}
+	tw, tb := dm>>6, uint(dm)&63
+	switch {
+	case tw < len(g):
+		if g[tw]>>tb&1 != 0 {
+			// m's own leading bit dm clears the overflow coefficient.
+			for j := 0; j <= tw; j++ {
+				g[j] ^= m[j]
+			}
+		}
+	case carry != 0:
+		// dm is a multiple of 64: the overflow bit fell off the limb
+		// array and cancels against m's leading bit implicitly.
+		for j := range g {
+			g[j] ^= m[j]
+		}
+	}
+}
+
+// xPowNMod computes x^n mod m (deg m == dm) by left-to-right square and
+// multiply; the multiply step is by the monomial x, so its cost is one
+// limb shift rather than a full polynomial product.
+func xPowNMod(n uint64, m fpoly, dm int) fpoly {
+	g := make(fpoly, polyWords(dm-1))
+	g.setBit(0) // x^0
+	if n == 0 {
+		return g
+	}
+	for i := bits.Len64(n) - 1; i >= 0; i-- {
+		sq := polySquare(g)
+		polyReduce(sq, m, dm)
+		copy(g, sq[:len(g)])
+		if n>>uint(i)&1 != 0 {
+			polyMulXMod(g, m, dm)
+		}
+	}
+	return g
+}
+
+// berlekampMassey returns the shortest LFSR (connection polynomial C,
+// length L) generating the first n bits of seq: C(x) = 1 + c₁x + …,
+// with Σ_{i=0..L} c_i·s_{t-i} = 0 for all t ≥ L.
+func berlekampMassey(seq fpoly, n int) (fpoly, int) {
+	words := polyWords(n)
+	c := make(fpoly, words)
+	b := make(fpoly, words)
+	c.setBit(0)
+	b.setBit(0)
+	// win holds the reversed sliding window: bit j = seq[t-j], so the
+	// discrepancy is the parity of win AND C (C has no bits above L).
+	win := make(fpoly, words)
+	L, m := 0, 1
+	for t := 0; t < n; t++ {
+		hi := t >> 6
+		for j := hi; j > 0; j-- {
+			win[j] = win[j]<<1 | win[j-1]>>63
+		}
+		win[0] <<= 1
+		win[0] |= seq.bit(t)
+		var acc uint64
+		for j := 0; j <= L>>6; j++ {
+			acc ^= win[j] & c[j]
+		}
+		if bits.OnesCount64(acc)&1 == 0 {
+			m++
+			continue
+		}
+		if 2*L <= t {
+			tmp := append(fpoly(nil), c...)
+			polyXorShift(c, b, m, b.degree())
+			copy(b, tmp)
+			L = t + 1 - L
+			m = 1
+		} else {
+			polyXorShift(c, b, m, b.degree())
+			m++
+		}
+	}
+	return c, L
+}

@@ -388,6 +388,16 @@ func (s *Scheduler) Remove(id string) bool {
 		return false
 	}
 	delete(s.jobs, id)
+	// Purge the retention FIFO too: a removed ID left in place would
+	// still count against RetainJobs and evict a live record early —
+	// every explicit Remove silently shrank the effective retention
+	// window by one.
+	for i, tid := range s.terminal {
+		if tid == id {
+			s.terminal = append(s.terminal[:i], s.terminal[i+1:]...)
+			break
+		}
+	}
 	return true
 }
 

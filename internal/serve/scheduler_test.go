@@ -263,6 +263,40 @@ func TestSchedulerRetention(t *testing.T) {
 	}
 }
 
+// TestSchedulerRemovePreservesRetention: an explicit Remove must purge
+// the evicted ID from the retention FIFO. It used to leave the ID in
+// place, where it still counted against RetainJobs — every Remove
+// silently shrank the effective retention window by one, evicting live
+// records early.
+func TestSchedulerRemovePreservesRetention(t *testing.T) {
+	s := New(Config{Executors: 1, QueueDepth: 16, RetainJobs: 3,
+		runHook: func(context.Context, *JobSpec) ([]byte, *execMeta, error) {
+			return []byte("x"), &execMeta{}, nil
+		}})
+	defer s.Drain(context.Background())
+
+	run := func() *Job {
+		j, err := s.Submit(genSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		return j
+	}
+	j1, j2, j3 := run(), run(), run()
+	if !s.Remove(j2.ID) || !s.Remove(j3.ID) {
+		t.Fatal("Remove of terminal records failed")
+	}
+	j4, j5 := run(), run()
+	// Live terminal records are now {j1, j4, j5} — exactly RetainJobs.
+	// Ghost FIFO entries for j2/j3 would push j1 (and then j4) out.
+	for _, j := range []*Job{j1, j4, j5} {
+		if s.Get(j.ID) == nil {
+			t.Fatalf("removed-job ghosts shrank the retention window: job %s evicted with only %d live records", j.ID, 3)
+		}
+	}
+}
+
 // TestSchedulerPanicBarrier: a panic inside job execution fails that
 // one job with a descriptive error instead of killing the executor
 // goroutine — the pool keeps servicing later jobs.

@@ -100,6 +100,12 @@ type JobSpec struct {
 	// WorkItems overrides the decoupled pipeline count (0 = the
 	// configuration's place-and-route outcome).
 	WorkItems int `json:"work_items,omitempty"`
+	// StreamOffset fast-forwards every work-item's twister streams by
+	// this many state words before generation (an O(log n) jump-ahead
+	// seek). Part of the replay tuple: (seed, stream_offset) names the
+	// stream window, so a checkpointed workload resumes by resubmitting
+	// the same spec with the saved offset. Generate jobs only.
+	StreamOffset uint64 `json:"stream_offset,omitempty"`
 
 	// Scheduling knobs, forwarded to decwi.ParallelOptions. The server
 	// is strict where the library clamps: a remote spec asking for more
@@ -260,6 +266,9 @@ func (spec *JobSpec) Validate(l Limits) error {
 		if spec.Variances != nil {
 			return fmt.Errorf("risk jobs take a scalar variance, not per-sector variances")
 		}
+		if spec.StreamOffset != 0 {
+			return fmt.Errorf("risk jobs do not take a stream_offset (the loss pipeline owns its stream positions)")
+		}
 	}
 	return nil
 }
@@ -274,8 +283,9 @@ func (spec *JobSpec) generateOptions() decwi.ParallelOptions {
 			Sectors:   spec.Sectors,
 			Variance:  spec.Variance,
 			Variances: spec.Variances,
-			WorkItems: spec.WorkItems,
-			Seed:      spec.Seed,
+			WorkItems:    spec.WorkItems,
+			Seed:         spec.Seed,
+			StreamOffset: spec.StreamOffset,
 		},
 		Shards:         spec.Shards,
 		Workers:        spec.Workers,

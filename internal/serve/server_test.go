@@ -139,6 +139,36 @@ func TestServerReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestServerStreamOffsetReplay: the (seed, stream_offset) pair is the
+// checkpoint tuple — a spec resubmitted with the saved offset replays
+// exactly the later stream window, byte-identical to the library run at
+// that offset and distinct from the offset-0 window.
+func TestServerStreamOffsetReplay(t *testing.T) {
+	ts, _ := testServer(t, Config{Executors: 1})
+	spec := JobSpec{Config: 2, Seed: 7, Scenarios: 20000, Sectors: 2, Workers: 2}
+	_, base := runJobOverHTTP(t, ts, "/v1/generate", spec)
+
+	spec.StreamOffset = 4099
+	st1, p1 := runJobOverHTTP(t, ts, "/v1/generate", spec)
+	st2, p2 := runJobOverHTTP(t, ts, "/v1/generate", spec)
+	if st1.SHA256 != st2.SHA256 || !bytes.Equal(p1, p2) {
+		t.Fatalf("offset replay diverged: %s vs %s", st1.SHA256, st2.SHA256)
+	}
+	if bytes.Equal(p1, base) {
+		t.Fatal("stream_offset=4099 returned the offset-0 window")
+	}
+	seq, err := decwi.Generate(decwi.Config2, decwi.GenerateOptions{
+		Scenarios: 20000, Sectors: 2, Seed: 7, StreamOffset: 4099,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := encodeFloat32LE(seq.Values); !bytes.Equal(p1, want) {
+		t.Fatalf("served offset payload diverges from the library at the same offset (digest %s vs %s)",
+			digest(p1), digest(want))
+	}
+}
+
 // TestServerRiskReplay: a risk job is replayable too (same seeded
 // Monte-Carlo → byte-identical report JSON), and the report carries the
 // analytic cross-checks.
@@ -202,6 +232,7 @@ func TestServerValidationErrors(t *testing.T) {
 			m["variances"] = []float64{1, 2}
 		}, "scalar variance"},
 		{"risk bad pd", "/v1/risk", func(m map[string]any) { m["pd"] = 1.5 }, "pd 1.5"},
+		{"risk with stream offset", "/v1/risk", func(m map[string]any) { m["stream_offset"] = 4099 }, "stream_offset"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			m := base()

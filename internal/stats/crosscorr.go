@@ -1,0 +1,131 @@
+package stats
+
+// crosscorr.go — inter-stream independence diagnostics for the
+// substream/decorrelation layer. Two substreams carved from one
+// recurrence must look like independent generators: their sample
+// cross-correlation at every small lag should vanish at the 1/sqrt(n)
+// scale, and their raw words should collide no more often than the
+// birthday bound predicts.
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossCorrelation returns the sample Pearson cross-correlation of
+// xs[t] with ys[t+lag] over the overlapping range. lag may be negative.
+// Returns 0 for degenerate inputs (overlap < 2 or zero variance).
+func CrossCorrelation(xs, ys []float64, lag int) float64 {
+	var a, b []float64
+	if lag >= 0 {
+		if lag >= len(ys) {
+			return 0
+		}
+		a, b = xs, ys[lag:]
+	} else {
+		if -lag >= len(xs) {
+			return 0
+		}
+		a, b = xs[-lag:], ys
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < 2 {
+		return 0
+	}
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// MaxAbsCrossCorrelation scans lags in [-maxLag, maxLag] and returns the
+// largest |cross-correlation| together with the lag attaining it.
+func MaxAbsCrossCorrelation(xs, ys []float64, maxLag int) (float64, int) {
+	best, bestLag := 0.0, 0
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		if c := math.Abs(CrossCorrelation(xs, ys, lag)); c > best {
+			best, bestLag = c, lag
+		}
+	}
+	return best, bestLag
+}
+
+// CollisionResult summarizes a birthday-style collision count over raw
+// 32-bit words pooled across streams.
+type CollisionResult struct {
+	// Words is the total number of words examined.
+	Words int
+	// Collisions counts words that duplicated an earlier word's value.
+	Collisions int
+	// Expected is the birthday approximation m(m−1)/2^33 for m
+	// independent uniform 32-bit words.
+	Expected float64
+}
+
+// CountCollisions pools the words of every stream and counts duplicate
+// 32-bit values. For genuinely decorrelated uniform streams the count
+// follows a Poisson law with mean ≈ m(m−1)/2^33; a shared or merely
+// shifted stream inflates it by orders of magnitude (every overlapping
+// word collides).
+func CountCollisions(streams ...[]uint32) CollisionResult {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	seen := make(map[uint32]struct{}, total)
+	res := CollisionResult{Words: total}
+	for _, s := range streams {
+		for _, w := range s {
+			if _, dup := seen[w]; dup {
+				res.Collisions++
+			} else {
+				seen[w] = struct{}{}
+			}
+		}
+	}
+	m := float64(total)
+	res.Expected = m * (m - 1) / float64(1<<33)
+	return res
+}
+
+// CheckDecorrelated applies both diagnostics to a pair of word streams
+// and returns a descriptive error when either exceeds its threshold:
+// max |cross-correlation| over lags in [-maxLag, maxLag] above corrLimit
+// (a multiple of the 1/sqrt(n) sampling scale chosen by the caller), or
+// a collision count above collisionFactor times the birthday bound
+// (plus a +3 grace for Poisson noise at tiny expectations).
+func CheckDecorrelated(a, b []uint32, maxLag int, corrLimit, collisionFactor float64) error {
+	xa := make([]float64, len(a))
+	for i, w := range a {
+		xa[i] = float64(w)
+	}
+	xb := make([]float64, len(b))
+	for i, w := range b {
+		xb[i] = float64(w)
+	}
+	if c, lag := MaxAbsCrossCorrelation(xa, xb, maxLag); c > corrLimit {
+		return fmt.Errorf("stats: cross-correlation %.4f at lag %d exceeds %.4f", c, lag, corrLimit)
+	}
+	col := CountCollisions(a, b)
+	if float64(col.Collisions) > collisionFactor*col.Expected+3 {
+		return fmt.Errorf("stats: %d word collisions over %d words, expected ≈%.2f", col.Collisions, col.Words, col.Expected)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func splitmixWords(seed uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	s := seed
+	for i := range out {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		out[i] = uint32((z ^ z>>31) >> 32)
+	}
+	return out
+}
+
+func toF64(ws []uint32) []float64 {
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = float64(w)
+	}
+	return out
+}
+
+func TestCrossCorrelationIdentity(t *testing.T) {
+	xs := toF64(splitmixWords(1, 2000))
+	if c := CrossCorrelation(xs, xs, 0); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("self-correlation at lag 0 = %g, want 1", c)
+	}
+	// A shifted copy correlates perfectly at the matching lag…
+	shifted := xs[7:]
+	if c := CrossCorrelation(shifted, xs, 7); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("shifted self-correlation at lag 7 = %g, want 1", c)
+	}
+	// …and MaxAbs finds it.
+	if c, lag := MaxAbsCrossCorrelation(shifted, xs, 16); lag != 7 || c < 0.999 {
+		t.Fatalf("MaxAbsCrossCorrelation = (%g, %d), want (≈1, 7)", c, lag)
+	}
+}
+
+func TestCrossCorrelationIndependent(t *testing.T) {
+	xs := toF64(splitmixWords(1, 4000))
+	ys := toF64(splitmixWords(2, 4000))
+	c, lag := MaxAbsCrossCorrelation(xs, ys, 32)
+	// 65 lags of ~N(0, 1/4000) samples: 0.09 is ~5.7 sigma.
+	if c > 0.09 {
+		t.Fatalf("independent streams correlate %.4f at lag %d", c, lag)
+	}
+}
+
+func TestCrossCorrelationDegenerate(t *testing.T) {
+	if c := CrossCorrelation(nil, nil, 0); c != 0 {
+		t.Fatalf("nil input correlation = %g", c)
+	}
+	if c := CrossCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}, 0); c != 0 {
+		t.Fatalf("zero-variance correlation = %g", c)
+	}
+	if c := CrossCorrelation([]float64{1, 2}, []float64{1, 2}, 5); c != 0 {
+		t.Fatalf("out-of-range lag correlation = %g", c)
+	}
+}
+
+func TestCountCollisions(t *testing.T) {
+	a := splitmixWords(10, 20000)
+	b := splitmixWords(11, 20000)
+	res := CountCollisions(a, b)
+	if res.Words != 40000 {
+		t.Fatalf("Words = %d", res.Words)
+	}
+	// Birthday expectation ≈ 40000²/2^33 ≈ 0.186; allow generous Poisson room.
+	if res.Collisions > 6 {
+		t.Fatalf("independent streams collide %d times (expected ≈%.2f)", res.Collisions, res.Expected)
+	}
+	// A duplicated stream must explode the count.
+	dup := CountCollisions(a, a)
+	if dup.Collisions < len(a) {
+		t.Fatalf("duplicated stream collides only %d times", dup.Collisions)
+	}
+}
+
+func TestCheckDecorrelated(t *testing.T) {
+	a := splitmixWords(21, 8000)
+	b := splitmixWords(22, 8000)
+	if err := CheckDecorrelated(a, b, 16, 0.1, 20); err != nil {
+		t.Fatalf("independent streams flagged: %v", err)
+	}
+	if err := CheckDecorrelated(a, a, 16, 0.1, 20); err == nil {
+		t.Fatal("identical streams passed the decorrelation check")
+	}
+	shifted := append([]uint32(nil), a[5:]...)
+	if err := CheckDecorrelated(shifted, a[:len(shifted)], 16, 0.1, 20); err == nil {
+		t.Fatal("lag-shifted stream passed the decorrelation check")
+	}
+}

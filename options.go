@@ -6,7 +6,13 @@ import (
 
 	"github.com/decwi/decwi/internal/core"
 	"github.com/decwi/decwi/internal/perf"
+	"github.com/decwi/decwi/internal/rng"
 )
+
+// maxIntraItemSubstreams bounds the substream fan-out per work-item:
+// lanes beyond this add scheduling units without useful skew absorption
+// and each costs a generator seek.
+const maxIntraItemSubstreams = 1024
 
 // This file is the single place the facade's option defaulting lives.
 // Generate, GenerateParallel and Session.EnqueueGamma all normalize
@@ -50,6 +56,8 @@ func engineConfig(k perf.KernelConfig, opt GenerateOptions) core.Config {
 		SectorVariances:   opt.Variances,
 		BurstRNs:          opt.BurstRNs,
 		Seed:              opt.Seed,
+		StreamOffset:      opt.StreamOffset,
+		SequentialSeek:    opt.SequentialSeek,
 		PerValueTransport: opt.PerValueTransport,
 		GatedCompute:      opt.GatedCompute,
 		BreakID:           opt.BreakID,
@@ -79,6 +87,9 @@ func normalizeParallel(k perf.KernelConfig, opt ParallelOptions) (ParallelOption
 	if opt.ChunkWorkItems < 0 {
 		return opt, 0, fmt.Errorf("decwi: chunk size %d must be ≥ 0 (0 selects an even split)", opt.ChunkWorkItems)
 	}
+	if opt.IntraItemSubstreams < 0 {
+		return opt, 0, fmt.Errorf("decwi: substreams %d must be ≥ 0 (0/1 disable)", opt.IntraItemSubstreams)
+	}
 	g, err := normalizeGenerate(k, opt.GenerateOptions)
 	if err != nil {
 		return opt, 0, err
@@ -86,6 +97,31 @@ func normalizeParallel(k perf.KernelConfig, opt ParallelOptions) (ParallelOption
 	opt.GenerateOptions = g
 	if opt.WorkItems < 1 {
 		return opt, 0, fmt.Errorf("decwi: work-items %d must be ≥ 1", opt.WorkItems)
+	}
+	if opt.IntraItemSubstreams > 1 {
+		// The substream lane path deliberately rejects every option whose
+		// semantics are defined per whole work-item instead of silently
+		// diverging from them.
+		switch {
+		case opt.IntraItemSubstreams > maxIntraItemSubstreams:
+			return opt, 0, fmt.Errorf("decwi: substreams %d exceeds the cap %d", opt.IntraItemSubstreams, maxIntraItemSubstreams)
+		case opt.BreakID != 0:
+			return opt, 0, fmt.Errorf("decwi: substreams are incompatible with BreakID %d (delayed-exit overshoot is a whole-work-item contract)", opt.BreakID)
+		case opt.GatedCompute:
+			return opt, 0, fmt.Errorf("decwi: substreams are incompatible with GatedCompute (lane execution is already the gated loop; per-work-item cycle traces would be meaningless)")
+		case opt.SequentialSeek:
+			return opt, 0, fmt.Errorf("decwi: substreams are incompatible with SequentialSeek (lane offsets are %d words apart; stepping there sequentially is the O(n) cost this mode removes)", rng.SubstreamStride)
+		case opt.Shards != 0 || opt.ChunkWorkItems != 0:
+			return opt, 0, fmt.Errorf("decwi: substreams fix the scheduling unit to (work-item, lane); Shards/ChunkWorkItems must stay 0")
+		}
+		chunks := opt.WorkItems * opt.IntraItemSubstreams
+		if opt.Workers == 0 {
+			opt.Workers = runtime.GOMAXPROCS(0)
+		}
+		if opt.Workers > chunks {
+			opt.Workers = chunks
+		}
+		return opt, chunks, nil
 	}
 	if opt.Shards == 0 {
 		opt.Shards = runtime.GOMAXPROCS(0)

@@ -2,6 +2,7 @@ package decwi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,19 @@ type ParallelOptions struct {
 	// work-stealing cursor more opportunities to absorb rejection-
 	// sampling imbalance at slightly higher claim overhead.
 	ChunkWorkItems int
+	// IntraItemSubstreams, when > 1, splits every work-item's scenario
+	// quota into that many substream lanes and makes the (work-item,
+	// lane) pair the scheduling unit — sharding *inside* a skewed
+	// work-item's rejection loop, below the paper's work-item axis. Each
+	// lane runs on the work-item's own seed jumped lane·SubstreamStride
+	// words ahead (O(log n) via mt.Core.Jump) with a per-lane
+	// decorrelation key, so the output is fully deterministic and
+	// scheduling-independent but belongs to a different stream family
+	// than Generate: unlike the other knobs, this one changes the bytes.
+	// 0 and 1 disable the mode and stay byte-identical to Generate.
+	// Incompatible with BreakID > 0, GatedCompute, SequentialSeek and
+	// explicit Shards/ChunkWorkItems (normalizeParallel rejects those).
+	IntraItemSubstreams int
 }
 
 // ParallelResult carries the generated data and scheduler metadata.
@@ -122,9 +136,17 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 	}
 	wi := opt.WorkItems
 	chunkWI := opt.ChunkWorkItems
+	subs := opt.IntraItemSubstreams
 	offsets := eng.BlockOffsets()
 	values := make([]float32, offsets[wi])
 	stats := make([]core.WorkItemStats, wi)
+	var unitStats []core.WorkItemStats
+	if subs > 1 {
+		// Substream lanes of one work-item share a stats[wid] entry on the
+		// default path; give each scheduling unit its own slot instead so
+		// concurrent lanes never race on one record.
+		unitStats = make([]core.WorkItemStats, chunks)
+	}
 
 	rec := opt.Telemetry
 	cChunks := rec.Counter("parallel.chunks", "events",
@@ -147,10 +169,16 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 		steals    atomic.Int64
 		firstErr  atomic.Value // error
 		errOnce   sync.Once
-		chunkDur  = make([]int64, chunks) // wall ns per chunk
+		chunkDur  = make([]int64, chunks) // wall ns per completed chunk, -1 sentinel otherwise
 		wg        sync.WaitGroup
 		workerSum = make([]int64, opt.Workers) // busy ns per worker
 	)
+	for i := range chunkDur {
+		// A chunk the cursor claimed but that never ran to success (the
+		// run was cancelled or the chunk failed) must not enter the skew
+		// statistic as a zero-duration outlier.
+		chunkDur[i] = -1
+	}
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr.Store(err)
@@ -170,10 +198,18 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 				if chunk >= chunks || ctx.Err() != nil {
 					return
 				}
-				lo := chunk * chunkWI
-				hi := lo + chunkWI
-				if hi > wi {
-					hi = wi
+				var desc string
+				var wid, part, lo, hi int
+				if subs > 1 {
+					wid, part = chunk/subs, chunk%subs
+					desc = fmt.Sprintf("work-item %d substream %d/%d", wid, part, subs)
+				} else {
+					lo = chunk * chunkWI
+					hi = lo + chunkWI
+					if hi > wi {
+						hi = wi
+					}
+					desc = fmt.Sprintf("work-items [%d,%d)", lo, hi)
 				}
 				stolen := chunk%opt.Workers != w
 				gActive.Add(1)
@@ -181,11 +217,17 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 				start := time.Now()
 				err := parallelChunkFaultErr(chunk)
 				if err == nil {
-					err = eng.RunChunk(ctx, values, lo, hi, stats)
+					if subs > 1 {
+						err = eng.RunItemPart(ctx, values, wid, part, subs, &unitStats[chunk])
+					} else {
+						err = eng.RunChunk(ctx, values, lo, hi, stats)
+					}
 				}
 				elapsed := time.Since(start).Nanoseconds()
 				gActive.Add(-1)
-				chunkDur[chunk] = elapsed
+				if err == nil {
+					chunkDur[chunk] = elapsed
+				}
 				workerSum[w] += elapsed
 				gBusy.Set(workerSum[w] / 1000)
 				hChunkUS.Record(elapsed / 1000)
@@ -199,13 +241,38 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 				}
 				cChunks.Add(1)
 				if err != nil {
-					fail(fmt.Errorf("decwi: chunk %d (work-items [%d,%d)): %w", chunk, lo, hi, err))
+					// Classify before failing: a context-caused chunk error
+					// under a cancelled run context is not this chunk's own
+					// failure — it is the cancellation surfacing mid-chunk.
+					// The post-wait logic reports the sibling's first error
+					// or the documented "parallel generation cancelled"
+					// wrap. The ctx.Err() guard keeps an *injected*
+					// context.Canceled (fault hook, wrapped library error)
+					// on the failure path when nothing actually cancelled.
+					if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() != nil {
+						return
+					}
+					fail(fmt.Errorf("decwi: chunk %d (%s): %w", chunk, desc, err))
 					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
+	// Publish scheduler telemetry before the error returns so an aborted
+	// run still records worker busy-time and a sane (completed-chunks-
+	// only) skew instead of vanishing or reporting a claimed-but-never-
+	// executed chunk as a 1 ns outlier.
+	imbalance := chunkImbalance(chunkDur)
+	if rec.Enabled() {
+		for w, ns := range workerSum {
+			rec.Counter(fmt.Sprintf("parallel.worker-busy[%d]", w), "ns",
+				"wall time this scheduler worker spent executing chunks").Add(ns)
+		}
+		rec.Counter("parallel.imbalance-x1000", "events",
+			"max/min chunk wall-time ratio ×1000 — the skew work stealing absorbed").Set(int64(imbalance * 1000))
+	}
 
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, err
@@ -217,20 +284,10 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 		return nil, fmt.Errorf("decwi: parallel generation cancelled: %w", err)
 	}
 
-	executed := int(cursor.Load())
-	if executed > chunks {
-		executed = chunks
+	rateStats := stats
+	if subs > 1 {
+		rateStats = unitStats
 	}
-	imbalance := chunkImbalance(chunkDur[:executed])
-	if rec.Enabled() {
-		for w, ns := range workerSum {
-			rec.Counter(fmt.Sprintf("parallel.worker-busy[%d]", w), "ns",
-				"wall time this scheduler worker spent executing chunks").Add(ns)
-		}
-		rec.Counter("parallel.imbalance-x1000", "events",
-			"max/min chunk wall-time ratio ×1000 — the skew work stealing absorbed").Set(int64(imbalance * 1000))
-	}
-
 	return &ParallelResult{
 		Values:         values,
 		BlockOffsets:   offsets,
@@ -239,7 +296,7 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 		Workers:        opt.Workers,
 		Steals:         int(steals.Load()),
 		ChunkImbalance: imbalance,
-		RejectionRate:  core.CombineStats(stats),
+		RejectionRate:  core.CombineStats(rateStats),
 		sectors:        opt.Sectors,
 	}, nil
 }
@@ -253,26 +310,33 @@ func parallelChunkFaultErr(chunk int) error {
 }
 
 // chunkImbalance returns the max/min chunk wall-time ratio, the
-// scheduler-level skew statistic. Sub-resolution (0 ns) chunks clamp
-// to 1 ns so tiny workloads do not divide by zero.
+// scheduler-level skew statistic. Negative entries are the "never ran
+// to completion" sentinel (the cursor claimed the chunk but the run
+// aborted first) and are excluded — counting them as zero-duration
+// used to explode the reported imbalance on every aborted run. With
+// fewer than two completed chunks there is no skew to report: 1.
+// Completed sub-resolution (0 ns) chunks clamp to 1 ns so tiny
+// workloads do not divide by zero.
 func chunkImbalance(durs []int64) float64 {
-	if len(durs) < 2 {
-		return 1
-	}
-	min, max := durs[0], durs[0]
-	for _, d := range durs[1:] {
-		if d < min {
+	var min, max int64
+	n := 0
+	for _, d := range durs {
+		if d < 0 {
+			continue
+		}
+		if d < 1 {
+			d = 1
+		}
+		if n == 0 || d < min {
 			min = d
 		}
-		if d > max {
+		if n == 0 || d > max {
 			max = d
 		}
+		n++
 	}
-	if min < 1 {
-		min = 1
-	}
-	if max < 1 {
-		max = 1
+	if n < 2 {
+		return 1
 	}
 	return float64(max) / float64(min)
 }

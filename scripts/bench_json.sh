@@ -18,6 +18,10 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkBlockCompute|BenchmarkEngineThroughput|BenchmarkGamma$|BenchmarkGenerateParallel' \
     -benchtime 2s -timeout 30m . >"$raw"
 go test -run '^$' -bench 'BenchmarkBatchedStream' -benchtime 1s ./internal/hls >>"$raw"
+# Jump-ahead latency (Jump(1e9) vs a billion sequential Advance calls)
+# and the scrambled-fill overhead of substream decorrelation.
+go test -run '^$' -bench 'BenchmarkJump|BenchmarkSequentialAdvance|BenchmarkScrambledFill' \
+    -benchtime 1s -timeout 30m ./internal/rng/mt >>"$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^goos|^goarch|^pkg:/ { next }

@@ -23,6 +23,15 @@ echo "== block-compute equivalence under -race"
 go test -race -run 'TestBlockCompute|TestCycleBlock|TestFillUint32|TestPropertyFillInterleaving' \
     ./internal/core ./internal/rng/gamma ./internal/rng/mt
 
+# Jump-ahead correctness under the race detector: the property suite
+# (Jump(a+b) == Jump(a);Jump(b), Jump ≡ n×Advance, golden vectors) plus
+# the stream-seek and substream equivalences. Named so a narrowed filter
+# can never drop the tentpole's bitwise-exactness proof.
+echo "== jump-ahead & substream equivalence under -race"
+go test -race -count=1 \
+    -run 'TestJump|TestOffset|TestCheckpoint|TestDecorrelate|TestStreamOffset|TestRunItemPart|TestSubstream' \
+    ./internal/rng/mt ./internal/rng ./internal/rng/gamma ./internal/core
+
 # Allocation gates (meaningful only without -race, whose instrumentation
 # allocates): the steady-state block loops must not allocate at all, and
 # neither may a histogram Record on the telemetry hot path.
@@ -41,6 +50,23 @@ GOMAXPROCS=1 go test -race -count=1 \
     -run 'TestGenerateParallel|TestRunChunk|TestNormalize' . ./internal/core
 GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestGenerateParallel|TestRunChunk|TestNormalize' . ./internal/core
+
+# Jump-vs-sequential seek smoke through the CLI: the same (seed, offset)
+# window generated with the O(log n) jump and with the O(n) word-by-word
+# walk must be byte-identical, on a single-core and a multicore
+# scheduler. This is the end-to-end form of the Jump ≡ n×Advance proof.
+echo "== gammagen jump-vs-sequential seek equivalence (offset 4099, GOMAXPROCS 1 and 4)"
+seekdir="$(mktemp -d)"
+trap 'rm -rf "$seekdir"' EXIT
+go build -o "$seekdir/gammagen" ./cmd/decwi-gammagen
+for procs in 1 4; do
+    GOMAXPROCS=$procs "$seekdir/gammagen" -config 2 -n 200000 -seed 7 -offset 4099 \
+        -validate=false -out "$seekdir/jump.$procs.bin"
+    GOMAXPROCS=$procs "$seekdir/gammagen" -config 2 -n 200000 -seed 7 -offset 4099 -jump=false \
+        -validate=false -out "$seekdir/seq.$procs.bin"
+    cmp "$seekdir/jump.$procs.bin" "$seekdir/seq.$procs.bin"
+done
+cmp "$seekdir/jump.1.bin" "$seekdir/jump.4.bin"
 
 # Benchmark smoke run: one iteration each, so the burst-transport,
 # sharded-generation and compute-path benchmarks can never silently rot.
