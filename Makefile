@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke metrics-smoke serve-smoke bench-serve trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke bce-check metrics-smoke serve-smoke bench-serve trace clean
 
-check: vet build race bench-smoke bench-compare-smoke metrics-smoke serve-smoke
+check: vet build race bce-check bench-smoke bench-compare-smoke metrics-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,20 +24,27 @@ race:
 bench:
 	$(GO) test -bench BenchmarkGamma -benchtime 1x -run '^$$' .
 
-# Machine-readable throughput baseline (BENCH_4.json at the repo root):
+# Machine-readable throughput baseline (BENCH_8.json at the repo root):
 # engine MB/s and ns/value for Config1-4 on both compute paths, plus the
 # transport, parallel-scheduler and telemetry ablations.
 bench-json:
 	sh scripts/bench_json.sh
 
-# Diff the committed baselines with per-benchmark % deltas (threshold 5%).
+# Diff the committed baselines with per-benchmark % deltas
+# (per-benchmark thresholds, default 5%).
 bench-compare:
-	sh scripts/bench_compare.sh BENCH_3.json BENCH_4.json
+	sh scripts/bench_compare.sh BENCH_7.json BENCH_8.json
 
 # The self-diff is deterministic and delta-free by construction, so the
 # comparer itself can never silently rot.
 bench-compare-smoke:
-	sh scripts/bench_compare.sh BENCH_4.json BENCH_4.json
+	sh scripts/bench_compare.sh BENCH_8.json BENCH_8.json
+
+# Bounds-check-elimination gate: the marked kernel regions in the RNG
+# packages must compile with zero IsInBounds/IsSliceInBounds checks
+# (fresh GOCACHE, -gcflags=-d=ssa/check_bce).
+bce-check:
+	sh scripts/bce_check.sh
 
 # One-iteration smoke run of the burst-transport, sharded-generation and
 # compute-path benchmarks, so they can never silently rot.

@@ -150,6 +150,16 @@ type GenerateOptions struct {
 	// either way; force it when cycle-level interleaving must be
 	// observable (stall tracing, co-simulation cross-checks).
 	GatedCompute bool
+	// StreamedTransport forces the hardware-shaped dataflow execution:
+	// one GammaRNG and one Transfer goroutine per work-item joined by a
+	// blocking hls::stream, with 512-bit packing and burst copies — the
+	// Listing 1 formulation. The default (false) is the fused pipe:
+	// generated candidate blocks land directly in the result buffer at
+	// their device-layout offsets, with no stream hand-off. Output is
+	// bitwise-identical either way; force it when the stream-side
+	// observables (backpressure spans, burst counters, FIFO occupancy)
+	// are the point, as decwi-trace does. PerValueTransport implies it.
+	StreamedTransport bool
 	// BreakID is Listing 2's counter delay index for the delayed exit
 	// ("here it suffices to use zero"). Values > 0 make every work-item
 	// overshoot its quota by BreakID extra MAINLOOP trips before the

@@ -32,6 +32,9 @@ func TestBatchedTransportEquivalence(t *testing.T) {
 				WorkItems: 2, Scenarios: 100, Sectors: 3,
 				SectorVariance: 1.39, Seed: 0xFEEDFACE,
 				StreamDepth: 8, // small FIFO: bursts larger than depth
+				// This test compares the two flavors of the *streamed*
+				// transport; the fused default has no stream to batch.
+				StreamedTransport: true,
 			}
 			run := func(perValue bool) []float32 {
 				cfg := base
@@ -71,6 +74,7 @@ func TestBatchedTransportDeterminism(t *testing.T) {
 		Transform: normal.MarsagliaBray, MTParams: mt.MT19937Params,
 		WorkItems: 4, Scenarios: 256, Sectors: 2,
 		SectorVariance: 1.39, Seed: 42,
+		StreamedTransport: true,
 	}
 	run := func() []float32 {
 		e, err := NewEngine(cfg)

@@ -83,11 +83,31 @@ func (e *Engine) runWorkItemFused(ctx context.Context, wid int, dst []float32, s
 
 	off := e.offsets[wid]
 	end := e.offsets[wid+1]
-	emit := func(v float32) {
-		dst[off] = v
-		off++
+	// Fused-pipe telemetry: how much of the work-item's output skipped
+	// the per-value hand-off entirely, landing in the device buffer as
+	// whole candidate blocks. Nil-safe no-ops when tracing is off.
+	cBlocks := cfg.Telemetry.Counter(fmt.Sprintf("engine.fused-blocks[%d]", wid), "events",
+		"candidate blocks generated directly into the device buffer by the fused pipe")
+	cDirect := cfg.Telemetry.Counter(fmt.Sprintf("engine.fused-direct[%d]", wid), "values",
+		"outputs written to the device buffer without per-value transport (fused pipe block phase)")
+	snk := sink{
+		value: func(v float32) {
+			dst[off] = v
+			off++
+		},
+		// The block phase only runs while at least n outputs remain in
+		// the current sector's row, so dst[off:off+n] can never cross
+		// the work-item's block (generateWI's chunk-boundary argument).
+		block: func(n int) []float32 {
+			return dst[off : off+int64(n)]
+		},
+		commit: func(produced int) {
+			off += int64(produced)
+			cBlocks.Add(1)
+			cDirect.Add(int64(produced))
+		},
 	}
-	if err := e.generateWI(ctx, wid, e.per[wid], gen, emit, stp); err != nil {
+	if err := e.generateWI(ctx, wid, e.per[wid], gen, snk, stp); err != nil {
 		return err
 	}
 	if off != end {

@@ -132,6 +132,9 @@ func TestEngineUnevenSplit(t *testing.T) {
 	res := runSmall(t, Config{
 		Transform: normal.ICDFCUDA, MTParams: mt.MT521Params,
 		WorkItems: 3, Scenarios: 1000, Sectors: 2, SectorVariance: 0.7, Seed: 2,
+		// FlushedWords is a Transfer-engine observable; it only exists
+		// on the hardware-shaped streamed execution.
+		StreamedTransport: true,
 	})
 	wantPer := []int64{334, 333, 333}
 	for w, s := range res.PerWI {
@@ -250,6 +253,8 @@ func TestEngineRejectionTelemetry(t *testing.T) {
 	res := runSmall(t, Config{
 		Transform: normal.MarsagliaBray, MTParams: mt.MT521Params,
 		WorkItems: 2, Scenarios: 40000, Sectors: 2, SectorVariance: 1.39, Seed: 6,
+		// Burst accounting only exists on the streamed transport.
+		StreamedTransport: true,
 	})
 	if r := res.CombinedRejectionRate(); math.Abs(r-0.303) > 0.03 {
 		t.Fatalf("combined rejection rate %f, expected ≈0.303", r)
@@ -324,6 +329,9 @@ func TestPropertyEngineConservation(t *testing.T) {
 			Transform: normal.ICDFCUDA, MTParams: mt.MT521Params,
 			WorkItems: wi, Scenarios: scen, Sectors: sectors,
 			SectorVariance: 1.39, Seed: seed,
+			// Conservation must hold on both transports; alternate the
+			// fused pipe and the streamed dataflow across the sweep.
+			StreamedTransport: seed%2 == 0,
 		})
 		if err != nil {
 			return false

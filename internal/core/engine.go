@@ -56,6 +56,22 @@ type Config struct {
 	// co-simulation and cycle-level stall tracing, where per-cycle
 	// interleaving is observable.
 	GatedCompute bool
+	// StreamedTransport forces Listing 1's dataflow execution: one
+	// GammaRNG and one Transfer process per work-item, joined by a
+	// blocking hls::stream, with 512-bit packing and burst copies into
+	// the device buffer. The default (false) selects the fused pipe:
+	// Run executes the work-items sequentially through the RunChunk
+	// machinery, generated blocks landing directly in the result buffer
+	// at their device-layout offsets — no streams, no packing, no
+	// transfer goroutines. Both produce bitwise-identical bytes
+	// (TestFusedRunEquivalence); the streamed path exists for the
+	// hardware-shaped model, where stream backpressure, burst accounting
+	// and dataflow process spans are the observables. The stream-side
+	// stats (Bursts, FlushedWords, StreamHigh) and the membus/stream
+	// telemetry exist only there. PerValueTransport implies
+	// StreamedTransport: a per-value stream handshake is meaningless
+	// without the stream.
+	StreamedTransport bool
 	// StreamOffset fast-forwards every work-item's four Mersenne-Twister
 	// streams by this many state words before generation begins — an
 	// O(log n) seek through each stream (mt.Core.Jump). The default 0
@@ -132,6 +148,9 @@ func (c Config) setDefaults() (Config, error) {
 	}
 	if c.MTParams.N == 0 {
 		c.MTParams = mt.MT19937Params
+	}
+	if c.PerValueTransport {
+		c.StreamedTransport = true
 	}
 	return c, nil
 }
@@ -241,10 +260,44 @@ func (e *Engine) splitScenarios() []int64 {
 	return out
 }
 
-// Run executes the engine: Listing 1's DecoupledWorkItems — one
-// gammaRNG process and one Transfer process per work-item, joined by a
-// blocking stream, all scheduled concurrently.
+// Run executes the engine. The default is the fused pipe: work-items
+// run sequentially through the RunChunk machinery, each generated block
+// written directly into the result buffer at its device-layout offset.
+// With Config.StreamedTransport it is instead Listing 1's
+// DecoupledWorkItems — one gammaRNG process and one Transfer process
+// per work-item, joined by a blocking stream, all scheduled
+// concurrently. The bytes are identical either way
+// (TestFusedRunEquivalence).
 func (e *Engine) Run() (*RunResult, error) {
+	if e.cfg.StreamedTransport {
+		return e.runStreamed()
+	}
+	return e.runFused()
+}
+
+// runFused is the default execution: the streamless single-goroutine
+// path, sharing every line of per-work-item execution with RunChunk so
+// the monolithic and chunked runs cannot drift apart.
+func (e *Engine) runFused() (*RunResult, error) {
+	cfg := e.cfg
+	res := &RunResult{
+		Data:         make([]float32, cfg.Scenarios*int64(cfg.Sectors)),
+		BlockOffsets: append([]int64(nil), e.offsets...),
+		PerWI:        make([]WorkItemStats, cfg.WorkItems),
+		cfg:          cfg,
+	}
+	kernelTr := cfg.Telemetry.Track("engine", telemetry.Wall)
+	kStart := kernelTr.Now()
+	if err := e.RunChunk(nil, res.Data, 0, cfg.WorkItems, res.PerWI); err != nil {
+		return nil, err
+	}
+	kernelTr.Span(telemetry.EvKernel, kStart, kernelTr.Now(), cfg.Scenarios*int64(cfg.Sectors))
+	return res, nil
+}
+
+// runStreamed is the hardware-shaped execution behind
+// Config.StreamedTransport.
+func (e *Engine) runStreamed() (*RunResult, error) {
 	cfg := e.cfg
 	per := e.per
 
@@ -385,7 +438,7 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 			batch = batch[:0]
 		}
 	}
-	if err := e.generateWI(nil, wid, limitMain, gen, emit, stats); err != nil {
+	if err := e.generateWI(nil, wid, limitMain, gen, sink{value: emit}, stats); err != nil {
 		return err
 	}
 	// Flush the partial trailing batch (runs before the deferred Close,
@@ -396,15 +449,28 @@ func (e *Engine) gammaRNG(wid int, limitMain int64, gen *gamma.Generator, out *h
 	return nil
 }
 
+// sink is generateWI's output hand-off. value delivers one validated
+// output (the gated compute path and every sector's gated tail). block,
+// when non-nil, returns a destination slice for up to n outputs so the
+// block compute phase can generate straight into final storage — the
+// fused pipe — with commit(produced) advancing past the outputs
+// actually produced; a nil block stages each chunk in scratch and
+// replays it through value, which is what the streamed transport needs.
+type sink struct {
+	value  func(float32)
+	block  func(n int) []float32
+	commit func(produced int)
+}
+
 // generateWI is the transport-agnostic body of gammaRNG: the SECLOOP
-// over sectors with the delayed-exit MAINLOOP, invoking emit once per
-// validated output, in order. The value sequence depends only on the
+// over sectors with the delayed-exit MAINLOOP, handing each validated
+// output to the sink, in order. The value sequence depends only on the
 // work-item's generator (seed, transform, twister, variances) — never on
-// where emit puts the value — which is what makes the streamed Run path
-// and the fused RunChunk path bitwise-identical. ctx, when non-nil, is
-// polled at sector boundaries so a cancelled chunked run aborts promptly
-// without perturbing any completed sector.
-func (e *Engine) generateWI(ctx context.Context, wid int, limitMain int64, gen *gamma.Generator, emit func(float32), stats *WorkItemStats) error {
+// where the sink puts the value — which is what makes the streamed Run
+// path and the fused RunChunk path bitwise-identical. ctx, when
+// non-nil, is polled at sector boundaries so a cancelled chunked run
+// aborts promptly without perturbing any completed sector.
+func (e *Engine) generateWI(ctx context.Context, wid int, limitMain int64, gen *gamma.Generator, snk sink, stats *WorkItemStats) error {
 	cfg := e.cfg
 	limitMax := cfg.LimitMaxFactor*limitMain + 1024
 	// Telemetry: a cycle-domain track timestamped by the generator's own
@@ -444,9 +510,17 @@ func (e *Engine) generateWI(ctx context.Context, wid int, limitMain int64, gen *
 					attempts = rem // starvation guard: never exceed limitMax trips
 				}
 				nvBefore := gen.NormalValid()
-				produced := gen.CycleBlock(bufs.out, int(attempts), bufs.scratch)
-				for _, v := range bufs.out[:produced] {
-					emit(v)
+				out := bufs.out[:attempts]
+				if snk.block != nil {
+					out = snk.block(int(attempts))
+				}
+				produced := gen.CycleBlock(out, int(attempts), bufs.scratch)
+				if snk.block != nil {
+					snk.commit(produced)
+				} else {
+					for _, v := range out[:produced] {
+						snk.value(v)
+					}
 				}
 				counter += uint32(produced)
 				trips += attempts
@@ -466,7 +540,7 @@ func (e *Engine) generateWI(ctx context.Context, wid int, limitMain int64, gen *
 			reg.Update(counter)
 			r := gen.CycleStep()
 			if r.Valid && int64(counter) < limitMain {
-				emit(r.Gamma)
+				snk.value(r.Gamma)
 				counter++
 				if int64(counter) == limitMain {
 					quotaAt = k

@@ -118,6 +118,15 @@ func (e *Engine) RunItemPart(ctx context.Context, dst []float32, wid, part, part
 	limitMain := e.per[wid]
 	limitMax := cfg.LimitMaxFactor*quota + 1024
 	base := e.offsets[wid] + partLo
+	// Lane bodies run the same block compute phase as a fused work-item:
+	// bulk chunks of blockCycles attempts written directly into the
+	// lane's slot, falling back to the gated loop for each sector's
+	// tail. CycleBlock keeps the value sequence identical to the gated
+	// loop (TestRunItemPartBlockEquivalence), and the pooled scratch is
+	// shared across RunItemPart calls, so a lane allocates nothing in
+	// steady state.
+	bufs := blockBuffersPool.Get().(*blockBuffers)
+	defer blockBuffersPool.Put(bufs)
 	for sector := 0; sector < cfg.Sectors; sector++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -126,8 +135,20 @@ func (e *Engine) RunItemPart(ctx context.Context, dst []float32, wid, part, part
 		}
 		gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
 		out := dst[base+int64(sector)*limitMain:]
-		var counter int64
-		for trips := int64(0); counter < quota && trips < limitMax; trips++ {
+		var counter, trips int64
+		// Bulk phase: a chunk of n attempts yields at most n outputs, so
+		// running it only while quota-counter ≥ blockCycles keeps every
+		// write inside the lane's [counter, quota) slot of the row.
+		for quota-counter >= blockCycles && trips < limitMax {
+			attempts := int64(blockCycles)
+			if rem := limitMax - trips; rem < attempts {
+				attempts = rem // starvation guard: never exceed limitMax trips
+			}
+			produced := gen.CycleBlock(out[counter:counter+attempts], int(attempts), bufs.scratch)
+			counter += int64(produced)
+			trips += attempts
+		}
+		for ; counter < quota && trips < limitMax; trips++ {
 			if r := gen.CycleStep(); r.Valid {
 				out[counter] = r.Gamma
 				counter++

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/decwi/decwi/internal/rng"
+	"github.com/decwi/decwi/internal/rng/gamma"
 	"github.com/decwi/decwi/internal/rng/mt"
 	"github.com/decwi/decwi/internal/rng/normal"
 )
@@ -196,6 +198,71 @@ func TestRunItemPartEdgeCases(t *testing.T) {
 	}
 	if err := e.RunItemPart(context.Background(), dst[:3], 0, 0, 2, nil); err == nil {
 		t.Fatal("short destination accepted")
+	}
+}
+
+// TestRunItemPartBlockEquivalence: the lane body's bulk phase (chunks
+// of blockCycles attempts through gamma.CycleBlock, written straight
+// into the lane's slot) must be bitwise-identical to a pure gated
+// CycleStep walk of the same substream. The scenario counts are chosen
+// so per-part quotas land below one block (255), exactly on a block
+// boundary (256), one past it (257), and across several full blocks
+// plus a tail — the quota-boundary-mid-lane shapes.
+func TestRunItemPartBlockEquivalence(t *testing.T) {
+	for _, scenarios := range []int64{510, 512, 514, 1024, 1030, 2048} {
+		cfg := substreamConfig()
+		cfg.WorkItems = 1
+		cfg.Scenarios = scenarios
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const parts = 2
+		total := scenarios * int64(cfg.Sectors)
+
+		got := make([]float32, total)
+		for part := 0; part < parts; part++ {
+			if err := e.RunItemPart(context.Background(), got, 0, part, parts, nil); err != nil {
+				t.Fatalf("scenarios=%d part=%d: %v", scenarios, part, err)
+			}
+		}
+
+		// Reference: the identical lane setup (same seek, same
+		// decorrelation key, same per-sector reparameterization) driven
+		// one gated pipeline walk at a time.
+		want := make([]float32, total)
+		limitMain := e.per[0]
+		for part := 0; part < parts; part++ {
+			quota, partLo := e.PartQuota(0, part, parts)
+			if quota == 0 {
+				continue
+			}
+			gen := gamma.NewGenerator(cfg.Transform, cfg.MTParams,
+				gamma.MustFromVariance(cfg.variance(0)), e.seeds[0])
+			e.seekStreams(gen, rng.SubstreamSeek(part))
+			gen.DecorrelateStreams(rng.SubstreamKey(e.seeds[0], part))
+			// e.cfg is the setDefaults-normalized config (LimitMaxFactor
+			// defaulted to 8); the lane body reads the same.
+			limitMax := e.cfg.LimitMaxFactor*quota + 1024
+			base := e.offsets[0] + partLo
+			for sector := 0; sector < cfg.Sectors; sector++ {
+				gen.SetParams(gamma.MustFromVariance(cfg.variance(sector)))
+				out := want[base+int64(sector)*limitMain:]
+				var counter, trips int64
+				for ; counter < quota && trips < limitMax; trips++ {
+					if r := gen.CycleStep(); r.Valid {
+						out[counter] = r.Gamma
+						counter++
+					}
+				}
+				if counter < quota {
+					t.Fatalf("scenarios=%d part=%d: gated reference starved in sector %d", scenarios, part, sector)
+				}
+			}
+		}
+		if !bytes.Equal(floatBytes(got), floatBytes(want)) {
+			t.Fatalf("scenarios=%d: lane block phase diverges from the gated reference", scenarios)
+		}
 	}
 }
 

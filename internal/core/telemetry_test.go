@@ -66,6 +66,9 @@ func TestTelemetryCountersPopulated(t *testing.T) {
 		Transform: normal.MarsagliaBray, MTParams: mt.MT19937Params,
 		WorkItems: 2, Scenarios: 1000, Sectors: 1,
 		SectorVariance: 1.39, Seed: 5, Telemetry: rec,
+		// membus.bursts is a Transfer-engine counter; run the
+		// hardware-shaped streamed execution to populate it.
+		StreamedTransport: true,
 	})
 	if err != nil {
 		t.Fatal(err)

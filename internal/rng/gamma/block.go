@@ -20,6 +20,7 @@ type BlockScratch struct {
 	nok      []bool    // normal validity
 	dv       []float64 // unscaled Marsaglia-Tsang candidates
 	acc      []bool    // acceptance flags
+	out      []float32 // accepted-output staging for ConsumeBlock/Pipe
 }
 
 // NewBlockScratch returns scratch sized for blocks of up to n attempts.
@@ -34,6 +35,7 @@ func NewBlockScratch(n int) *BlockScratch {
 		nok:      make([]bool, n),
 		dv:       make([]float64, n),
 		acc:      make([]bool, n),
+		out:      make([]float32, n),
 	}
 }
 

@@ -118,9 +118,24 @@ func (p Params) Finish(dv float64, u2 float32) float32 {
 		// The Pow is only observable when the boost correction applies;
 		// skipping it otherwise leaves the result bitwise-unchanged (the
 		// hardware computes it unconditionally, but a select discards it).
-		g = dv * math.Pow(float64(u2), p.invAlpha)
+		g = dv * powCorrect(float64(u2), p.invAlpha)
 	}
 	return float32(g * p.Scale)
+}
+
+// powCorrect computes u^e for the boost correction, with u ∈ (0,1) (an
+// open-interval uniform, never 0 or 1) and e = 1/α > 0. It is the direct
+// exp(e·ln u) form rather than math.Pow: Pow's general path pays for
+// extended-precision argument splitting (Frexp/Modf/Ldexp) to guarantee
+// <1 ulp over the full float64 domain, which profiles at ~half the cost
+// of the whole pipeline here. On this restricted domain the direct form's
+// float64 relative error stays within a few ulps, far below the final
+// float32 rounding step in Finish, so accepted outputs are unchanged at
+// float32 for all practical (u, e); see DESIGN.md for the error budget.
+// Both the gated CycleStep and the block path funnel through Finish, so
+// cross-path bitwise equivalence is preserved by construction.
+func powCorrect(u, e float64) float64 {
+	return math.Exp(e * math.Log(u))
 }
 
 // CandidateBlock evaluates the Marsaglia-Tsang test over a whole block of
@@ -135,7 +150,19 @@ func (p Params) Finish(dv float64, u2 float32) float32 {
 // Accepted entries are bitwise-identical to Candidate: the squeeze test
 // is checked first and the logarithms evaluated only when it fails,
 // which cannot change the decision (the scalar form ors the two tests).
+//
+// When every normal is valid (the ICDF transforms in their non-saturated
+// regime — the common case), len(u1) == len(n0) and the evaluation runs
+// through a dense two-pass kernel: a branch-free unrolled squeeze pass
+// that only accumulates acceptance masks, then a sparse pass evaluating
+// the logarithms for the squeeze failures. Lazy log evaluation cannot
+// change any decision, so both shapes remain bitwise-identical.
 func (p Params) CandidateBlock(dv []float64, acc []bool, n0 []float32, nok []bool, u1 []uint32) (accepted int) {
+	if len(u1) == len(n0) {
+		// len(u1) equals the number of valid normals by contract, so a
+		// full-length u1 means every slot is valid: take the dense kernel.
+		return p.candidateBlockDense(dv, acc, n0, u1)
+	}
 	j := 0
 	for i := range n0 {
 		if !nok[i] {
@@ -163,6 +190,90 @@ func (p Params) CandidateBlock(dv []float64, acc []bool, n0 []float32, nok []boo
 		dv[i] = p.d * v
 		acc[i] = ok
 		if ok {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// candidateBlockDense is the all-normals-valid CandidateBlock kernel:
+// pass 1 evaluates the polynomial squeeze test branch-free over 4-wide
+// unrolled lanes (acceptance lands in acc as a mask, no data-dependent
+// control flow), pass 2 revisits only the squeeze failures with a valid
+// cube and runs the two-logarithm test. Recomputing x/v in pass 2 repeats
+// the identical float operations, so decisions match the scalar form
+// exactly.
+func (p Params) candidateBlockDense(dv []float64, acc []bool, n0 []float32, u1 []uint32) (accepted int) {
+	c, d := p.c, p.d
+	// The prove pass cannot discharge n0[i+3]-style indexing off a
+	// shared pinned length here; the advancing-subslice form below
+	// (every residual length in the loop condition, constant indices
+	// into [:4:4] windows) compiles with zero bounds checks.
+	// bce:begin candidateBlockDense squeeze pass
+	xs, us, ds, as := n0, u1, dv, acc
+	for len(xs) >= 4 && len(us) >= 4 && len(ds) >= 4 && len(as) >= 4 {
+		x4 := xs[:4:4]
+		u4 := us[:4:4]
+		d4 := ds[:4:4]
+		a4 := as[:4:4]
+		x0 := float64(x4[0])
+		x1 := float64(x4[1])
+		x2 := float64(x4[2])
+		x3 := float64(x4[3])
+		cx0 := 1 + c*x0
+		cx1 := 1 + c*x1
+		cx2 := 1 + c*x2
+		cx3 := 1 + c*x3
+		v0 := cx0 * cx0 * cx0
+		v1 := cx1 * cx1 * cx1
+		v2 := cx2 * cx2 * cx2
+		v3 := cx3 * cx3 * cx3
+		u0 := float64(rng.U32ToFloatOpen(u4[0]))
+		uu1 := float64(rng.U32ToFloatOpen(u4[1]))
+		u2 := float64(rng.U32ToFloatOpen(u4[2]))
+		u3 := float64(rng.U32ToFloatOpen(u4[3]))
+		s0 := x0 * x0
+		s1 := x1 * x1
+		s2 := x2 * x2
+		s3 := x3 * x3
+		d4[0] = d * v0
+		d4[1] = d * v1
+		d4[2] = d * v2
+		d4[3] = d * v3
+		a4[0] = v0 > 0 && u0 < 1-0.0331*s0*s0
+		a4[1] = v1 > 0 && uu1 < 1-0.0331*s1*s1
+		a4[2] = v2 > 0 && u2 < 1-0.0331*s2*s2
+		a4[3] = v3 > 0 && u3 < 1-0.0331*s3*s3
+		xs, us, ds, as = xs[4:], us[4:], ds[4:], as[4:]
+	}
+	for len(xs) > 0 && len(us) > 0 && len(ds) > 0 && len(as) > 0 {
+		x := float64(xs[0])
+		cx := 1 + c*x
+		v := cx * cx * cx
+		u := float64(rng.U32ToFloatOpen(us[0]))
+		x2 := x * x
+		ds[0] = d * v
+		as[0] = v > 0 && u < 1-0.0331*x2*x2
+		xs, us, ds, as = xs[1:], us[1:], ds[1:], as[1:]
+	}
+	// bce:end
+	// Pass 2: squeeze failures with a valid cube take the full
+	// two-logarithm Marsaglia-Tsang test (~a third of slots at v=1.39).
+	for i, a := range acc {
+		if a {
+			accepted++
+			continue
+		}
+		x := float64(n0[i])
+		cx := 1 + c*x
+		v := cx * cx * cx
+		if !(v > 0) {
+			continue
+		}
+		u := float64(rng.U32ToFloatOpen(u1[i]))
+		x2 := x * x
+		if math.Log(u) < 0.5*x2+d-d*v+d*math.Log(v) {
+			acc[i] = true
 			accepted++
 		}
 	}

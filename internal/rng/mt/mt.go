@@ -247,6 +247,14 @@ func (c *Core) FillUint32(dst []uint32) {
 	tt, tc, tl := c.p.TemperT, c.p.TemperC, c.p.TemperL
 	i := c.idx
 	for k < len(dst) {
+		// Whole-block fast path for the small twister: at a block
+		// boundary with a full block of demand left, regenerate and
+		// temper all 17 words through the fully unrolled kernel.
+		if i == 0 && n == 17 && m == 8 && len(dst)-k >= 17 {
+			fill521(dst[k:], st, up, lo, a, tu, ts, tb, tt, tc, tl)
+			k += 17
+			continue
+		}
 		end := i + (len(dst) - k)
 		if end > n {
 			end = n
@@ -256,38 +264,22 @@ func (c *Core) FillUint32(dst []uint32) {
 		if s1 > end {
 			s1 = end
 		}
-		for ; i < s1; i++ {
-			y := (st[i] & up) | (st[i+1] & lo)
-			x := st[i+m] ^ (y >> 1)
-			if y&1 != 0 {
-				x ^= a
-			}
-			st[i] = x
-			x ^= x >> tu
-			x ^= (x << ts) & tb
-			x ^= (x << tt) & tc
-			x ^= x >> tl
-			dst[k] = x
-			k++
+		if i < s1 {
+			cnt := s1 - i
+			fillSeg(dst[k:k+cnt], st[i:s1], st[i+1:s1+1], st[i+m:s1+m], up, lo, a, tu, ts, tb, tt, tc, tl)
+			k += cnt
+			i = s1
 		}
 		// Segment 2: the middle tap wraps into this block's fresh words.
 		s2 := n - 1
 		if s2 > end {
 			s2 = end
 		}
-		for ; i < s2; i++ {
-			y := (st[i] & up) | (st[i+1] & lo)
-			x := st[i+m-n] ^ (y >> 1)
-			if y&1 != 0 {
-				x ^= a
-			}
-			st[i] = x
-			x ^= x >> tu
-			x ^= (x << ts) & tb
-			x ^= (x << tt) & tc
-			x ^= x >> tl
-			dst[k] = x
-			k++
+		if i < s2 {
+			cnt := s2 - i
+			fillSeg(dst[k:k+cnt], st[i:s2], st[i+1:s2+1], st[i+m-n:s2+m-n], up, lo, a, tu, ts, tb, tt, tc, tl)
+			k += cnt
+			i = s2
 		}
 		// Segment 3: the final word of the block, both taps wrapped.
 		if i == n-1 && i < end {
@@ -315,6 +307,115 @@ func (c *Core) FillUint32(dst []uint32) {
 	}
 }
 
+// fillSeg regenerates and tempers one contiguous twist segment: for each
+// j it combines cur[j]'s upper bits with nxt[j]'s lower bits, twists
+// against tap[j], writes the new state word back to cur[j] and emits the
+// tempered word into o[j]. nxt is cur shifted by one, and in segment 2
+// tap aliases state words freshly written earlier in the same pass; the
+// strictly increasing write order keeps both reads correct, exactly as in
+// the scalar formulation. The twist conditional is branch-free (the A row
+// is masked in with -(y&1), a full-width 0/1 mask — the twist bit is an
+// unpredictable random bit, so a branch here mispredicts half the time),
+// and the loop runs as 8-wide unrolled lanes over len-pinned subslices so
+// the compiler eliminates every bounds check (scripts/bce_check.sh).
+func fillSeg(o, cur, nxt, tap []uint32, up, lo, a uint32, tu, ts uint, tb uint32, tt uint, tc uint32, tl uint) {
+	// bce:begin fillSeg twist+temper lanes
+	// The redundant slice-length terms in the loop condition and the tail
+	// guard are what let the prove pass drop every bounds check: each
+	// [:8:8] reslice and constant-index access below is then statically
+	// in range (verified by scripts/bce_check.sh). All four slices have
+	// length n by construction, so neither guard ever alters behavior.
+	for len(o) >= 8 && len(cur) >= 8 && len(nxt) >= 8 && len(tap) >= 8 {
+		o8 := o[:8:8]
+		c8 := cur[:8:8]
+		n8 := nxt[:8:8]
+		t8 := tap[:8:8]
+		y0 := (c8[0] & up) | (n8[0] & lo)
+		x0 := t8[0] ^ (y0 >> 1) ^ (a & -(y0 & 1))
+		c8[0] = x0
+		x0 ^= x0 >> tu
+		x0 ^= (x0 << ts) & tb
+		x0 ^= (x0 << tt) & tc
+		x0 ^= x0 >> tl
+		o8[0] = x0
+		y1 := (c8[1] & up) | (n8[1] & lo)
+		x1 := t8[1] ^ (y1 >> 1) ^ (a & -(y1 & 1))
+		c8[1] = x1
+		x1 ^= x1 >> tu
+		x1 ^= (x1 << ts) & tb
+		x1 ^= (x1 << tt) & tc
+		x1 ^= x1 >> tl
+		o8[1] = x1
+		y2 := (c8[2] & up) | (n8[2] & lo)
+		x2 := t8[2] ^ (y2 >> 1) ^ (a & -(y2 & 1))
+		c8[2] = x2
+		x2 ^= x2 >> tu
+		x2 ^= (x2 << ts) & tb
+		x2 ^= (x2 << tt) & tc
+		x2 ^= x2 >> tl
+		o8[2] = x2
+		y3 := (c8[3] & up) | (n8[3] & lo)
+		x3 := t8[3] ^ (y3 >> 1) ^ (a & -(y3 & 1))
+		c8[3] = x3
+		x3 ^= x3 >> tu
+		x3 ^= (x3 << ts) & tb
+		x3 ^= (x3 << tt) & tc
+		x3 ^= x3 >> tl
+		o8[3] = x3
+		y4 := (c8[4] & up) | (n8[4] & lo)
+		x4 := t8[4] ^ (y4 >> 1) ^ (a & -(y4 & 1))
+		c8[4] = x4
+		x4 ^= x4 >> tu
+		x4 ^= (x4 << ts) & tb
+		x4 ^= (x4 << tt) & tc
+		x4 ^= x4 >> tl
+		o8[4] = x4
+		y5 := (c8[5] & up) | (n8[5] & lo)
+		x5 := t8[5] ^ (y5 >> 1) ^ (a & -(y5 & 1))
+		c8[5] = x5
+		x5 ^= x5 >> tu
+		x5 ^= (x5 << ts) & tb
+		x5 ^= (x5 << tt) & tc
+		x5 ^= x5 >> tl
+		o8[5] = x5
+		y6 := (c8[6] & up) | (n8[6] & lo)
+		x6 := t8[6] ^ (y6 >> 1) ^ (a & -(y6 & 1))
+		c8[6] = x6
+		x6 ^= x6 >> tu
+		x6 ^= (x6 << ts) & tb
+		x6 ^= (x6 << tt) & tc
+		x6 ^= x6 >> tl
+		o8[6] = x6
+		y7 := (c8[7] & up) | (n8[7] & lo)
+		x7 := t8[7] ^ (y7 >> 1) ^ (a & -(y7 & 1))
+		c8[7] = x7
+		x7 ^= x7 >> tu
+		x7 ^= (x7 << ts) & tb
+		x7 ^= (x7 << tt) & tc
+		x7 ^= x7 >> tl
+		o8[7] = x7
+		o, cur, nxt, tap = o[8:], cur[8:], nxt[8:], tap[8:]
+	}
+	m := len(o)
+	if m > len(cur) || m > len(nxt) || m > len(tap) {
+		return
+	}
+	cur = cur[:m]
+	nxt = nxt[:m]
+	tap = tap[:m]
+	for j := range o {
+		y := (cur[j] & up) | (nxt[j] & lo)
+		x := tap[j] ^ (y >> 1) ^ (a & -(y & 1))
+		cur[j] = x
+		x ^= x >> tu
+		x ^= (x << ts) & tb
+		x ^= (x << tt) & tc
+		x ^= x >> tl
+		o[j] = x
+	}
+	// bce:end
+}
+
 // StateLen returns the number of 32-bit state words (624 or 17 for the
 // paper's two variants); the platform performance models use it to cost
 // state storage traffic.
@@ -330,4 +431,159 @@ func (c *Core) Clone() *Core {
 		haveCached: c.haveCached, cached: c.cached, offset: c.offset, scramble: c.scramble}
 	n.state = append([]uint32(nil), c.state...)
 	return n
+}
+
+// fill521 regenerates and tempers exactly one full MT521 state block:
+// N=17 words with M=8, every index a constant so the whole
+// twist+temper datapath is branch-free straight-line code with zero
+// bounds checks (scripts/bce_check.sh) — the small-state analogue of
+// fillSeg, whose 8-wide lanes degenerate to the scalar tail on MT521's
+// 9- and 7-word segments. Write order is strictly increasing, so the
+// seg2/seg3 taps read the fresh words exactly as the recurrence
+// demands.
+func fill521(o, st []uint32, up, lo, a uint32, tu, ts uint, tb uint32, tt uint, tc uint32, tl uint) {
+	if len(o) < 17 || len(st) < 17 {
+		return
+	}
+	o = o[:17:17]
+	st = st[:17:17]
+	var y, x uint32
+	// bce:begin fill521 twist+temper block
+	y = (st[0] & up) | (st[1] & lo)
+	x = st[8] ^ (y >> 1) ^ (a & -(y & 1))
+	st[0] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[0] = x
+	y = (st[1] & up) | (st[2] & lo)
+	x = st[9] ^ (y >> 1) ^ (a & -(y & 1))
+	st[1] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[1] = x
+	y = (st[2] & up) | (st[3] & lo)
+	x = st[10] ^ (y >> 1) ^ (a & -(y & 1))
+	st[2] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[2] = x
+	y = (st[3] & up) | (st[4] & lo)
+	x = st[11] ^ (y >> 1) ^ (a & -(y & 1))
+	st[3] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[3] = x
+	y = (st[4] & up) | (st[5] & lo)
+	x = st[12] ^ (y >> 1) ^ (a & -(y & 1))
+	st[4] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[4] = x
+	y = (st[5] & up) | (st[6] & lo)
+	x = st[13] ^ (y >> 1) ^ (a & -(y & 1))
+	st[5] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[5] = x
+	y = (st[6] & up) | (st[7] & lo)
+	x = st[14] ^ (y >> 1) ^ (a & -(y & 1))
+	st[6] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[6] = x
+	y = (st[7] & up) | (st[8] & lo)
+	x = st[15] ^ (y >> 1) ^ (a & -(y & 1))
+	st[7] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[7] = x
+	y = (st[8] & up) | (st[9] & lo)
+	x = st[16] ^ (y >> 1) ^ (a & -(y & 1))
+	st[8] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[8] = x
+	y = (st[9] & up) | (st[10] & lo)
+	x = st[0] ^ (y >> 1) ^ (a & -(y & 1))
+	st[9] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[9] = x
+	y = (st[10] & up) | (st[11] & lo)
+	x = st[1] ^ (y >> 1) ^ (a & -(y & 1))
+	st[10] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[10] = x
+	y = (st[11] & up) | (st[12] & lo)
+	x = st[2] ^ (y >> 1) ^ (a & -(y & 1))
+	st[11] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[11] = x
+	y = (st[12] & up) | (st[13] & lo)
+	x = st[3] ^ (y >> 1) ^ (a & -(y & 1))
+	st[12] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[12] = x
+	y = (st[13] & up) | (st[14] & lo)
+	x = st[4] ^ (y >> 1) ^ (a & -(y & 1))
+	st[13] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[13] = x
+	y = (st[14] & up) | (st[15] & lo)
+	x = st[5] ^ (y >> 1) ^ (a & -(y & 1))
+	st[14] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[14] = x
+	y = (st[15] & up) | (st[16] & lo)
+	x = st[6] ^ (y >> 1) ^ (a & -(y & 1))
+	st[15] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[15] = x
+	y = (st[16] & up) | (st[0] & lo)
+	x = st[7] ^ (y >> 1) ^ (a & -(y & 1))
+	st[16] = x
+	x ^= x >> tu
+	x ^= (x << ts) & tb
+	x ^= (x << tt) & tc
+	x ^= x >> tl
+	o[16] = x
+	// bce:end
 }

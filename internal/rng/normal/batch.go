@@ -2,6 +2,7 @@ package normal
 
 import (
 	"math"
+	"math/bits"
 
 	"github.com/decwi/decwi/internal/rng"
 )
@@ -22,6 +23,13 @@ import (
 // the batch kernel skips the transcendental math for the ~21.5 % of
 // attempts the validity predicate rejects.
 func PolarFill(dst []float32, ok []bool, w1, w2 []uint32) (valid int) {
+	cnt := len(dst)
+	if cnt > len(ok) || cnt > len(w1) || cnt > len(w2) {
+		panic("normal: PolarFill slice lengths")
+	}
+	ok = ok[:cnt:cnt]
+	w1 = w1[:cnt:cnt]
+	w2 = w2[:cnt:cnt]
 	for i := range dst {
 		v1 := rng.U32ToSigned(w1[i])
 		v2 := rng.U32ToSigned(w2[i])
@@ -53,15 +61,53 @@ func BoxMullerFill(dst []float32, ok []bool, w1, w2 []uint32) (valid int) {
 // ICDFFPGAFill transforms one word per candidate through the bit-level
 // segmented inverse CDF. Saturated inputs (beyond the deepest octave,
 // a ~2^-29 event) are marked invalid exactly as in the scalar step.
+//
+// The step body is inlined here with the table-initialization Once
+// hoisted out of the loop, the two saturation cases folded into a single
+// unsigned octave-range compare, and the sign applied by flipping the
+// float32 sign bit (bitwise-identical to negation for every value). The
+// intra-segment shift is always a left shift on this geometry
+// (rbits = p−3 ≤ 27 < icdfFracBits), so the scalar step's direction
+// branch is elided. Bounds checks are eliminated via len-pinned slices
+// and the masked/range-checked table indices (scripts/bce_check.sh).
 func ICDFFPGAFill(dst []float32, ok []bool, words []uint32) (valid int) {
 	icdfTableOnce.Do(buildICDFTable)
-	for i := range dst {
-		z, zok := ICDFFPGAStep(words[i])
-		dst[i], ok[i] = z, zok
-		if zok {
-			valid++
-		}
+	cnt := len(dst)
+	if cnt > len(ok) || cnt > len(words) {
+		panic("normal: ICDFFPGAFill slice lengths")
 	}
+	// bce:begin ICDFFPGAFill lanes
+	ok = ok[:cnt:cnt]
+	words = words[:cnt:cnt]
+	tbl := &icdfTable
+	sat := icdfSaturate
+	valid = cnt
+	for i := range dst {
+		w := words[i]
+		h := w >> 1
+		p := 31 - bits.LeadingZeros32(h) // h==0 gives p=-1, folded below
+		k := 30 - p                      // octave index
+		var q int64
+		if uint(k) < icdfOctaves {
+			j := (h >> uint(p-icdfSegBits)) & (icdfSegsPerOct - 1)
+			rbits := uint(p - icdfSegBits)
+			rem := int64(h & ((1 << rbits) - 1))
+			t := rem << (icdfFracBits - rbits) // Q0.28 intra-segment offset
+			c := &tbl[k][j]
+			r := c.c1 + ((c.c2 * t) >> icdfFracBits)
+			q = c.c0 + ((r * t) >> icdfFracBits)
+			ok[i] = true
+		} else {
+			// Saturation: h == 0 (k computes to 31) or beyond the deepest
+			// octave — the same ~2^-29 events the scalar step rejects.
+			q = sat
+			ok[i] = false
+			valid--
+		}
+		zf := float32(q) * float32(1.0/(1<<icdfFracBits))
+		dst[i] = math.Float32frombits(math.Float32bits(zf) ^ (w&1)<<31)
+	}
+	// bce:end
 	return valid
 }
 
@@ -86,6 +132,10 @@ func ICDFCUDAFill(dst []float32, ok []bool, words []uint32) (valid int) {
 // block with entirely fresh words, which is the standard redraw loop.
 func ZigguratFill(dst []float32, ok []bool, w1, w23 []uint32) (valid int) {
 	zigOnce.Do(buildZiggurat)
+	cnt := len(dst)
+	if cnt > len(ok) || cnt > len(w1) || 2*cnt > len(w23) {
+		panic("normal: ZigguratFill slice lengths")
+	}
 	for i := range dst {
 		z, zok := ZigguratStep(w1[i], w23[2*i], w23[2*i+1])
 		dst[i], ok[i] = z, zok

@@ -60,6 +60,7 @@ func engineConfig(k perf.KernelConfig, opt GenerateOptions) core.Config {
 		SequentialSeek:    opt.SequentialSeek,
 		PerValueTransport: opt.PerValueTransport,
 		GatedCompute:      opt.GatedCompute,
+		StreamedTransport: opt.StreamedTransport,
 		BreakID:           opt.BreakID,
 		Telemetry:         opt.Telemetry,
 	}

@@ -16,6 +16,12 @@ import (
 // workload plus scheduling knobs. The knobs are pure execution policy —
 // every (Shards, Workers, ChunkWorkItems) choice yields output bitwise-
 // identical to Generate with the same GenerateOptions.
+//
+// Chunk execution is always the fused pipe (candidate blocks written
+// directly at their device-layout offsets); the embedded
+// StreamedTransport/PerValueTransport knobs select a transport only for
+// the monolithic Generate path and are ignored here, exactly as before
+// the fused default — the bytes do not depend on either.
 type ParallelOptions struct {
 	GenerateOptions
 	// Shards is the target chunk count the work-item axis is split

@@ -121,6 +121,11 @@ func TestGenerateParallelProperty(t *testing.T) {
 			Sectors:   int(sectors%3) + 1,
 			Seed:      seed,
 			BreakID:   int(seed % 3),
+			// Alternate the sequential reference between the fused pipe
+			// and the streamed dataflow: the parallel path always runs
+			// fused chunks, so half the sweep also cross-checks the two
+			// transports against each other.
+			StreamedTransport: seed%2 == 1,
 		}
 		seq, err := Generate(c, opt)
 		if err != nil {

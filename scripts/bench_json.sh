@@ -1,6 +1,6 @@
 #!/bin/sh
 # Machine-readable benchmark baseline: runs the engine-throughput and
-# compute-path benchmarks and writes BENCH_4.json at the repository root
+# compute-path benchmarks and writes BENCH_8.json at the repository root
 # (MB/s and ns per generated float32 value for Config1-4 on both compute
 # paths, plus the telemetry-overhead and transport/sharding ablations —
 # including the work-item-sharded parallel scheduler variants).
@@ -10,7 +10,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_8.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -14,6 +14,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Bounds-check-elimination gate: the marked lane kernels (mt fillSeg /
+# fill521, normal ICDFFPGAFill, gamma candidateBlockDense) must compile
+# with zero surviving IsInBounds/IsSliceInBounds checks — the fused
+# pipe's single-core throughput depends on it.
+echo "== bounds-check elimination in marked kernel regions"
+sh scripts/bce_check.sh
+
 # Block/gated compute equivalence under the race detector: the block
 # path shares sync.Pool scratch across work-item goroutines, so its
 # bitwise-equivalence proof must also hold with full synchronization
@@ -22,6 +29,17 @@ go test -race ./...
 echo "== block-compute equivalence under -race"
 go test -race -run 'TestBlockCompute|TestCycleBlock|TestFillUint32|TestPropertyFillInterleaving' \
     ./internal/core ./internal/rng/gamma ./internal/rng/mt
+
+# Fused-pipe equivalence under the race detector: the fused transport
+# writes candidate blocks straight into the shared device buffer, and
+# the gamma→loss pipe batches the creditrisk sector draws, so their
+# bitwise-equivalence proofs (streamed vs fused Run, gated vs piped
+# SimulateMC, lane block phase vs gated walk) must also hold with full
+# synchronization checking.
+echo "== fused-pipe & gamma→loss pipe equivalence under -race"
+go test -race -count=1 \
+    -run 'TestFused|TestPropertyFused|TestRunItemPartBlockEquivalence|TestSimulateMCPipeEquivalence|TestPipe|TestConsumeBlock' \
+    ./internal/core ./internal/creditrisk ./internal/rng/gamma
 
 # Jump-ahead correctness under the race detector: the property suite
 # (Jump(a+b) == Jump(a);Jump(b), Jump ≡ n×Advance, golden vectors) plus
@@ -87,11 +105,12 @@ sh scripts/metrics_smoke.sh
 echo "== service smoke (decwi-served + decwi-loadgen + decwi-promcheck)"
 sh scripts/serve_smoke.sh
 
-# Baseline-diff smoke: the self-compare must always be delta-free, so
-# the comparer itself can never silently rot; the BENCH_3 -> BENCH_4
-# cross-PR diff is informational (different machines, different trees).
+# Baseline-diff smoke: the self-compare must always be delta-free and
+# must satisfy the static substreams-vs-sharded bound, so the comparer
+# itself can never silently rot; the BENCH_7 -> BENCH_8 cross-PR diff
+# is informational (different machines, different trees).
 echo "== bench_compare smoke (self-diff + informational cross-baseline diff)"
-sh scripts/bench_compare.sh BENCH_4.json BENCH_4.json
-BENCH_COMPARE_WARN_ONLY=1 sh scripts/bench_compare.sh BENCH_3.json BENCH_4.json
+sh scripts/bench_compare.sh BENCH_8.json BENCH_8.json
+BENCH_COMPARE_WARN_ONLY=1 sh scripts/bench_compare.sh BENCH_7.json BENCH_8.json
 
 echo "tier-1 gate: OK"
