@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke bce-check metrics-smoke serve-smoke bench-serve trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke bce-check metrics-smoke serve-smoke bench-serve bench-fastlane trace clean
 
 check: vet build race bce-check bench-smoke bench-compare-smoke metrics-smoke serve-smoke
 
@@ -60,8 +60,9 @@ metrics-smoke:
 	sh scripts/metrics_smoke.sh
 
 # Service smoke: boot decwi-served, run a replay-determinism check and a
-# risk batch through decwi-loadgen, validate the live metrics plane, and
-# require a clean SIGTERM drain.
+# risk batch through decwi-loadgen, validate the live metrics plane
+# (including the serve.cache.hits floor the replay must have ticked),
+# and require a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
@@ -69,6 +70,12 @@ serve-smoke:
 # p50/p99 job latency and saturation throughput across concurrency levels.
 bench-serve:
 	sh scripts/bench_serve.sh
+
+# Serve fast-lane baseline (BENCH_9.json at the repo root): cache-cold
+# vs cache-hot vs dedup-storm at concurrency 16; fails if the hot path
+# is less than 5x the cold jobs/s.
+bench-fastlane:
+	sh scripts/bench_serve.sh BENCH_9.json fastlane
 
 # Smoke-test the tracing CLI (artifacts land in the working directory).
 trace:

@@ -2,8 +2,10 @@
 // closed-loop workload and reports the latency distribution and
 // saturation throughput — the load harness behind BENCH_6.json.
 //
-// Each worker loops submit → long-poll → download → delete; 429
-// responses are retried after the server's Retry-After hint, so the
+// Each worker loops submit → long-poll → download → delete over a
+// persistent connection (the transport keeps one idle conn per worker,
+// so the harness measures the server, not TCP churn); 429 responses are
+// retried after the server's Retry-After hint with jitter, so the
 // measured throughput is the service's admission-controlled capacity,
 // not a queue blow-up. Every downloaded payload is checked against the
 // X-Decwi-Sha256 digest the server advertises.
@@ -13,6 +15,7 @@
 //	decwi-loadgen -url http://127.0.0.1:8080 -requests 64 -concurrency 8
 //	decwi-loadgen -url http://... -kind risk -requests 16 -json
 //	decwi-loadgen -url http://... -replay       # determinism check, 2 submits
+//	decwi-loadgen -url http://... -same-seed    # one tuple repeated: cache-hot
 package main
 
 import (
@@ -23,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,7 +67,9 @@ func main() {
 	sectors := flag.Int("sectors", 2, "number of financial sectors")
 	workers := flag.Int("workers", 2, "engine workers per job")
 	seedBase := flag.Uint64("seed-base", 1000, "job i uses seed seed-base+i")
+	sameSeed := flag.Bool("same-seed", false, "every request uses seed-base itself — one replay tuple repeated, the cache-hot / dedup-storm workload")
 	tenant := flag.String("tenant", "loadgen", "tenant label for quota accounting")
+	label := flag.String("label", "", "free-form level name echoed into the summary (bench bookkeeping)")
 	jsonOut := flag.Bool("json", false, "emit the summary as a JSON object on stdout")
 	replay := flag.Bool("replay", false, "determinism check: submit one spec twice and require byte-identical payloads")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall per-job client deadline")
@@ -73,9 +80,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// One persistent connection per worker: the harness must measure the
+	// server, not TCP handshakes and TIME_WAIT churn. The default
+	// transport keeps only 2 idle conns per host, so at concurrency 16
+	// every closed-loop iteration would re-dial.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 2 * *concurrency
+	tr.MaxIdleConnsPerHost = *concurrency
 	lg := &loadgen{
 		base:    strings.TrimRight(*url, "/"),
-		client:  &http.Client{Timeout: 90 * time.Second},
+		client:  &http.Client{Timeout: 90 * time.Second, Transport: tr},
 		timeout: *timeout,
 	}
 	spec := jobSpec{
@@ -93,7 +107,11 @@ func main() {
 	if *replay {
 		err = lg.replayCheck(spec, *seedBase)
 	} else {
-		err = lg.run(spec, *requests, *concurrency, *seedBase, *jsonOut)
+		err = lg.run(spec, runOpts{
+			requests: *requests, concurrency: *concurrency,
+			seedBase: *seedBase, sameSeed: *sameSeed,
+			label: *label, jsonOut: *jsonOut,
+		})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-loadgen: %v\n", err)
@@ -105,6 +123,7 @@ type loadgen struct {
 	base    string
 	client  *http.Client
 	timeout time.Duration
+	retried atomic.Int64 // 429/503 submissions retried after backoff
 }
 
 // submit POSTs the spec, retrying 429/503 after the server's
@@ -140,9 +159,14 @@ func (lg *loadgen) submit(spec jobSpec) (jobStatus, error) {
 					wait = time.Duration(secs) * time.Second
 				}
 			}
+			// Jitter to [0.5·hint, 1.5·hint): every throttled worker got
+			// the same Retry-After, and sleeping it verbatim re-collides
+			// the whole herd on the admission queue one hint later.
+			wait = wait/2 + time.Duration(rand.Int63n(int64(wait)))
 			if time.Now().Add(wait).After(deadline) {
 				return jobStatus{}, fmt.Errorf("POST %s: still %s at client deadline", endpoint, resp.Status)
 			}
+			lg.retried.Add(1)
 			time.Sleep(wait)
 		default:
 			return jobStatus{}, fmt.Errorf("POST %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(respBody)))
@@ -259,21 +283,34 @@ func (lg *loadgen) replayCheck(spec jobSpec, seed uint64) error {
 }
 
 type summary struct {
+	Label       string  `json:"label,omitempty"`
 	Kind        string  `json:"kind"`
 	Requests    int     `json:"requests"`
 	Concurrency int     `json:"concurrency"`
 	Config      int     `json:"config"`
 	Scenarios   int64   `json:"scenarios"`
+	SameSeed    bool    `json:"same_seed,omitempty"`
 	WallMS      float64 `json:"wall_ms"`
 	P50MS       float64 `json:"p50_ms"`
 	P99MS       float64 `json:"p99_ms"`
 	MeanMS      float64 `json:"mean_ms"`
 	Throughput  float64 `json:"jobs_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec"`
-	Retried429  int64   `json:"-"`
+	Retried429  int64   `json:"retried_429"`
 }
 
-func (lg *loadgen) run(spec jobSpec, requests, concurrency int, seedBase uint64, jsonOut bool) error {
+// runOpts parameterizes one measured load run.
+type runOpts struct {
+	requests    int
+	concurrency int
+	seedBase    uint64
+	sameSeed    bool
+	label       string
+	jsonOut     bool
+}
+
+func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
+	requests, concurrency := opt.requests, opt.concurrency
 	if requests < 1 || concurrency < 1 {
 		return fmt.Errorf("-requests and -concurrency must be ≥ 1")
 	}
@@ -288,7 +325,11 @@ func (lg *loadgen) run(spec jobSpec, requests, concurrency int, seedBase uint64,
 	)
 	next := make(chan uint64, requests)
 	for i := 0; i < requests; i++ {
-		next <- seedBase + uint64(i)
+		if opt.sameSeed {
+			next <- opt.seedBase
+		} else {
+			next <- opt.seedBase + uint64(i)
+		}
 	}
 	close(next)
 
@@ -331,21 +372,22 @@ func (lg *loadgen) run(spec jobSpec, requests, concurrency int, seedBase uint64,
 		total += l
 	}
 	sum := summary{
-		Kind: spec.Kind, Requests: requests, Concurrency: concurrency,
-		Config: spec.Config, Scenarios: spec.Scenarios,
+		Label: opt.label, Kind: spec.Kind, Requests: requests, Concurrency: concurrency,
+		Config: spec.Config, Scenarios: spec.Scenarios, SameSeed: opt.sameSeed,
 		WallMS:     float64(wall.Microseconds()) / 1e3,
 		P50MS:      float64(quantile(0.50).Microseconds()) / 1e3,
 		P99MS:      float64(quantile(0.99).Microseconds()) / 1e3,
 		MeanMS:     float64(total.Microseconds()) / float64(len(latencies)) / 1e3,
 		Throughput: float64(requests) / wall.Seconds(),
 		MBPerSec:   float64(bytesIn) / 1e6 / wall.Seconds(),
+		Retried429: lg.retried.Load(),
 	}
-	if jsonOut {
+	if opt.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		return enc.Encode(sum)
 	}
 	fmt.Printf("decwi-loadgen: %d %s jobs @ concurrency %d in %v\n", requests, spec.Kind, concurrency, wall.Round(time.Millisecond))
 	fmt.Printf("  latency  p50 %.1fms  p99 %.1fms  mean %.1fms\n", sum.P50MS, sum.P99MS, sum.MeanMS)
-	fmt.Printf("  throughput %.2f jobs/s, %.2f MB/s payload\n", sum.Throughput, sum.MBPerSec)
+	fmt.Printf("  throughput %.2f jobs/s, %.2f MB/s payload (%d throttled retries)\n", sum.Throughput, sum.MBPerSec, sum.Retried429)
 	return nil
 }

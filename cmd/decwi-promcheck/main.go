@@ -11,6 +11,7 @@
 //	decwi-promcheck -url http://...:9090/metrics -min-counters 5 -min-gauges 1 -min-histograms 1
 //	decwi-promcheck -url http://...:9090/healthz -healthz
 //	decwi-promcheck -url http://...:9090/snapshot -snapshot
+//	decwi-promcheck -url http://...:9090/snapshot -snapshot -require-counter serve.cache.hits=1
 package main
 
 import (
@@ -19,10 +20,19 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
+
+// counterFloor is one -require-counter assertion: the named counter
+// must be present with value ≥ min.
+type counterFloor struct {
+	name string
+	min  int64
+}
 
 func main() {
 	url := flag.String("url", "", "metrics endpoint to fetch (required)")
@@ -32,6 +42,20 @@ func main() {
 	healthz := flag.Bool("healthz", false, "treat the URL as a liveness probe: require 200 and body \"ok\"")
 	snapshot := flag.Bool("snapshot", false, "treat the URL as a /snapshot JSON endpoint: fetch twice and validate both (schema, non-negative values and deltas, ordered histogram quantiles)")
 	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	var floors []counterFloor
+	flag.Func("require-counter", "with -snapshot: require counter name=min (value ≥ min); repeatable",
+		func(v string) error {
+			name, minStr, ok := strings.Cut(v, "=")
+			if !ok || name == "" {
+				return fmt.Errorf("want name=min, got %q", v)
+			}
+			min, err := strconv.ParseInt(minStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("min %q: %w", minStr, err)
+			}
+			floors = append(floors, counterFloor{name: name, min: min})
+			return nil
+		})
 	flag.Parse()
 
 	if *url == "" {
@@ -39,7 +63,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *snapshot, *timeout); err != nil {
+	if len(floors) > 0 && !*snapshot {
+		fmt.Fprintln(os.Stderr, "decwi-promcheck: -require-counter needs -snapshot")
+		os.Exit(2)
+	}
+	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *snapshot, floors, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-promcheck: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,7 +85,7 @@ func fetch(client *http.Client, url string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-func run(url string, minCounters, minGauges, minHists int, healthz, snapshot bool, timeout time.Duration) error {
+func run(url string, minCounters, minGauges, minHists int, healthz, snapshot bool, floors []counterFloor, timeout time.Duration) error {
 	client := &http.Client{Timeout: timeout}
 	if snapshot {
 		// Two scrapes: the first primes the server-side delta baseline,
@@ -77,8 +105,24 @@ func run(url string, minCounters, minGauges, minHists int, healthz, snapshot boo
 					return fmt.Errorf("snapshot counts too low: %d counters (min %d), %d gauges (min %d), %d histograms (min %d)",
 						counters, minCounters, gauges, minGauges, hists, minHists)
 				}
-				fmt.Printf("decwi-promcheck: OK — snapshot valid across 2 scrapes: %d counters, %d gauges, %d histograms\n",
+				for _, f := range floors {
+					v, ok, err := metricsrv.SnapshotCounterValue(body, f.name)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("required counter %s absent from snapshot", f.name)
+					}
+					if v < f.min {
+						return fmt.Errorf("counter %s = %d, want ≥ %d", f.name, v, f.min)
+					}
+				}
+				fmt.Printf("decwi-promcheck: OK — snapshot valid across 2 scrapes: %d counters, %d gauges, %d histograms",
 					counters, gauges, hists)
+				if len(floors) > 0 {
+					fmt.Printf(", %d counter floor(s) met", len(floors))
+				}
+				fmt.Println()
 			}
 		}
 		return nil

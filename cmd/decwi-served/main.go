@@ -14,6 +14,13 @@
 // (seed, config) tuple streams back bitwise-identical bytes, equal to
 // the library's sequential Generate output.
 //
+// That determinism powers the serve fast lane: completed results are
+// cached by the canonical digest of their replay tuple (-cache-bytes,
+// -cache-tenant-bytes) and repeat submissions are answered without an
+// engine run; concurrent identical submissions coalesce onto one shared
+// execution (-dedup); and small jobs (-fastpath-values) run inline when
+// an executor is idle, skipping the queue hand-off.
+//
 // SIGTERM/SIGINT starts a graceful drain: new submissions get 503,
 // queued and running jobs finish (bounded by -drain-timeout), then the
 // listener and metrics server shut down and the process exits 0.
@@ -50,18 +57,38 @@ func main() {
 	quotaBurst := flag.Int("quota-burst", 8, "per-tenant token-bucket burst size")
 	retainJobs := flag.Int("retain-jobs", 1024, "finished job records (and payloads) kept before FIFO eviction")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight jobs are aborted")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "deterministic result cache budget in bytes (0 disables caching)")
+	cacheTenantBytes := flag.Int64("cache-tenant-bytes", 0, "per-tenant result cache byte cap (0 selects cache-bytes/4)")
+	fastPathValues := flag.Int64("fastpath-values", 65536, "scenarios·sectors at or under which an idle executor runs the job inline, skipping the queue hand-off (0 disables)")
+	dedup := flag.Bool("dedup", true, "coalesce concurrent identical submissions onto one engine run")
 	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*addr, *queueDepth, *executors, *defaultTimeout,
-		*quotaRate, *quotaBurst, *retainJobs, *drainTimeout, mflags); err != nil {
+	scfg := serve.Config{
+		QueueDepth:       *queueDepth,
+		Executors:        *executors,
+		DefaultTimeout:   *defaultTimeout,
+		QuotaRate:        *quotaRate,
+		QuotaBurst:       *quotaBurst,
+		RetainJobs:       *retainJobs,
+		CacheBytes:       *cacheBytes,
+		CacheTenantBytes: *cacheTenantBytes,
+		FastPathValues:   *fastPathValues,
+		SingleflightOff:  !*dedup,
+	}
+	// The flag's "0 disables" spelling maps onto the Config's "negative
+	// disables" (whose 0 means "default 64 MiB").
+	if *cacheBytes == 0 {
+		scfg.CacheBytes = -1
+	}
+
+	if err := run(*addr, scfg, *drainTimeout, mflags); err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-served: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queueDepth, executors int, defaultTimeout time.Duration,
-	quotaRate float64, quotaBurst, retainJobs int, drainTimeout time.Duration,
+func run(addr string, scfg serve.Config, drainTimeout time.Duration,
 	mflags *metricsrv.Flags) error {
 	// The service always records its scheduler telemetry, whether or not
 	// the -http observability server is up: the instruments are cheap
@@ -72,15 +99,8 @@ func run(addr string, queueDepth, executors int, defaultTimeout time.Duration,
 		return err
 	}
 
-	sched := serve.New(serve.Config{
-		QueueDepth:     queueDepth,
-		Executors:      executors,
-		DefaultTimeout: defaultTimeout,
-		QuotaRate:      quotaRate,
-		QuotaBurst:     quotaBurst,
-		RetainJobs:     retainJobs,
-		Telemetry:      rec,
-	})
+	scfg.Telemetry = rec
+	sched := serve.New(scfg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

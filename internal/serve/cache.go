@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// This file is the deterministic result cache: a content-addressed,
+// byte-budgeted LRU over completed job payloads. The key is the
+// canonical digest of the replay tuple (JobSpec.cacheKey), and the
+// determinism guarantee the whole repo is built on — every payload is
+// a pure function of that tuple — is what makes serving from it safe:
+// a hit returns exactly the bytes a fresh engine run would produce, so
+// the cache is a latency optimization, never a staleness risk.
+//
+// Accounting is per tenant as well as global: each entry is attributed
+// to the tenant whose job produced it, one tenant's entries may not
+// exceed tenantCap bytes (its own oldest entries are evicted first),
+// and the whole cache may not exceed budget bytes (globally oldest
+// evicted first). Hits are deliberately cross-tenant — the bytes are a
+// pure function of the tuple, so any tenant could compute them — only
+// the storage attribution is scoped.
+
+// cacheEviction reports one evicted entry so the scheduler can settle
+// the byte gauges outside the cache lock.
+type cacheEviction struct {
+	tenant string
+	size   int64
+}
+
+// cacheEntry is one cached result plus the execution metadata its
+// status responses echo.
+type cacheEntry struct {
+	key    string
+	tenant string
+	res    *result
+	meta   execMeta
+	size   int64
+	elem   *list.Element
+}
+
+// resultCache is the LRU. All methods are safe for concurrent use; the
+// internal lock is leaf-level (no other scheduler lock is ever taken
+// under it), so callers may hold Scheduler.mu across a call.
+type resultCache struct {
+	mu        sync.Mutex
+	budget    int64 // global byte ceiling
+	tenantCap int64 // per-tenant byte ceiling
+	bytes     int64
+	lru       *list.List // front = most recently used; element values are *cacheEntry
+	entries   map[string]*cacheEntry
+	perTenant map[string]int64
+}
+
+func newResultCache(budget, tenantCap int64) *resultCache {
+	if tenantCap <= 0 || tenantCap > budget {
+		tenantCap = budget
+	}
+	return &resultCache{
+		budget:    budget,
+		tenantCap: tenantCap,
+		lru:       list.New(),
+		entries:   map[string]*cacheEntry{},
+		perTenant: map[string]int64{},
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*result, execMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, execMeta{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.res, e.meta, true
+}
+
+// put inserts a completed result under key, attributed to tenant. It
+// reports whether the entry was stored and which entries were evicted
+// to make room. Oversized results (bigger than the per-tenant cap) are
+// not cached at all — one huge job must not flush everyone else.
+// Re-inserting an existing key only refreshes recency: determinism
+// guarantees the stored bytes already equal the new ones.
+func (c *resultCache) put(key, tenant string, res *result, meta execMeta) (inserted bool, evicted []cacheEviction) {
+	size := int64(res.size())
+	if size == 0 || size > c.tenantCap || size > c.budget {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return false, nil
+	}
+	// First make the owning tenant fit under its own cap, evicting its
+	// oldest entries; then make the whole cache fit under the budget.
+	for c.perTenant[tenant]+size > c.tenantCap {
+		ev := c.evictOldest(func(e *cacheEntry) bool { return e.tenant == tenant })
+		if ev == nil {
+			break // no older entry of this tenant left (size ≤ tenantCap holds, so this cannot loop)
+		}
+		evicted = append(evicted, *ev)
+	}
+	for c.bytes+size > c.budget {
+		ev := c.evictOldest(func(*cacheEntry) bool { return true })
+		if ev == nil {
+			break
+		}
+		evicted = append(evicted, *ev)
+	}
+	e := &cacheEntry{key: key, tenant: tenant, res: res, meta: meta, size: size}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += size
+	c.perTenant[tenant] += size
+	return true, evicted
+}
+
+// evictOldest removes the least-recently-used entry matching the
+// predicate. Called with mu held; returns nil when nothing matches.
+func (c *resultCache) evictOldest(match func(*cacheEntry) bool) *cacheEviction {
+	for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+		e := elem.Value.(*cacheEntry)
+		if !match(e) {
+			continue
+		}
+		c.lru.Remove(elem)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		if c.perTenant[e.tenant] -= e.size; c.perTenant[e.tenant] <= 0 {
+			delete(c.perTenant, e.tenant)
+		}
+		return &cacheEviction{tenant: e.tenant, size: e.size}
+	}
+	return nil
+}
+
+// totalBytes is the current global occupancy.
+func (c *resultCache) totalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// tenantBytes is one tenant's attributed occupancy.
+func (c *resultCache) tenantBytes(tenant string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perTenant[tenant]
+}
+
+// len is the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/decwi/decwi/internal/telemetry"
+)
+
+// rawRes builds an n-byte result for cache unit tests.
+func rawRes(n int) *result {
+	return newRawResult(bytes.Repeat([]byte{0xA5}, n))
+}
+
+// TestResultCacheEvictionByteBudget: inserts beyond the byte budget
+// evict the globally least-recently-used entry, and an evicted key is a
+// miss afterwards (hit-after-evict).
+func TestResultCacheEvictionByteBudget(t *testing.T) {
+	c := newResultCache(100, 100)
+	for _, key := range []string{"a", "b"} {
+		if ok, ev := c.put(key, "t1", rawRes(40), execMeta{}); !ok || len(ev) != 0 {
+			t.Fatalf("put %s: inserted=%v evicted=%v", key, ok, ev)
+		}
+	}
+	// Refresh "a" so "b" is the LRU victim when "c" arrives.
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("get a before eviction: miss")
+	}
+	ok, ev := c.put("c", "t1", rawRes(40), execMeta{})
+	if !ok || len(ev) != 1 || ev[0].size != 40 {
+		t.Fatalf("put c over budget: inserted=%v evicted=%+v", ok, ev)
+	}
+	if _, _, ok := c.get("b"); ok {
+		t.Fatal("evicted key b still hits")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, _, ok := c.get(key); !ok {
+			t.Fatalf("surviving key %s misses", key)
+		}
+	}
+	if got := c.totalBytes(); got != 80 {
+		t.Fatalf("occupancy %d bytes after eviction, want 80", got)
+	}
+}
+
+// TestResultCachePerTenantAccounting: a tenant over its byte cap evicts
+// its OWN oldest entries; other tenants' entries survive, and hits stay
+// cross-tenant (the bytes are a pure function of the tuple).
+func TestResultCachePerTenantAccounting(t *testing.T) {
+	c := newResultCache(1000, 100)
+	if ok, _ := c.put("other", "t2", rawRes(60), execMeta{}); !ok {
+		t.Fatal("t2 seed insert failed")
+	}
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ok, ev := c.put(key, "t1", rawRes(40), execMeta{})
+		if !ok {
+			t.Fatalf("t1 put %s failed", key)
+		}
+		if i == 2 {
+			// Third 40-byte entry crosses t1's 100-byte cap: k0 must go,
+			// and it must be t1's entry, not t2's older one.
+			if len(ev) != 1 || ev[0].tenant != "t1" {
+				t.Fatalf("tenant-cap eviction took %+v, want one t1 entry", ev)
+			}
+		}
+	}
+	if _, _, ok := c.get("k0"); ok {
+		t.Fatal("t1's oldest entry survived its tenant cap")
+	}
+	if _, _, ok := c.get("other"); !ok {
+		t.Fatal("t2's entry evicted by t1's cap")
+	}
+	if got := c.tenantBytes("t1"); got != 80 {
+		t.Fatalf("t1 attributed %d bytes, want 80", got)
+	}
+	if got := c.tenantBytes("t2"); got != 60 {
+		t.Fatalf("t2 attributed %d bytes, want 60", got)
+	}
+}
+
+// TestResultCacheOversizedAndRefresh: results bigger than the tenant
+// cap are not cached at all, and re-inserting an existing key only
+// refreshes recency (no double-count, nothing evicted).
+func TestResultCacheOversizedAndRefresh(t *testing.T) {
+	c := newResultCache(100, 50)
+	if ok, _ := c.put("big", "t1", rawRes(51), execMeta{}); ok {
+		t.Fatal("oversized result was cached")
+	}
+	if ok, _ := c.put("k", "t1", rawRes(30), execMeta{}); !ok {
+		t.Fatal("first insert failed")
+	}
+	if ok, ev := c.put("k", "t1", rawRes(30), execMeta{}); ok || len(ev) != 0 {
+		t.Fatalf("re-insert of existing key: inserted=%v evicted=%v", ok, ev)
+	}
+	if got := c.totalBytes(); got != 30 {
+		t.Fatalf("occupancy %d after refresh, want 30", got)
+	}
+	if c.len() != 1 {
+		t.Fatalf("entry count %d after refresh, want 1", c.len())
+	}
+}
+
+// TestSchedulerCacheHit: the second submission of a tuple is answered
+// from the cache — born terminal, marked Cached, byte-identical, with
+// no second engine run and the hit counted.
+func TestSchedulerCacheHit(t *testing.T) {
+	rec := telemetry.New(0)
+	var runs atomic.Int64
+	s := New(Config{Executors: 1, Telemetry: rec,
+		runHook: func(context.Context, *JobSpec) ([]byte, *execMeta, error) {
+			runs.Add(1)
+			return []byte("deterministic-bytes"), &execMeta{}, nil
+		}})
+	defer s.Drain(context.Background())
+
+	j1, err := s.Submit(seeded(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitTerminal(t, j1)
+	j2, err := s.Submit(seeded(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := j2.Status() // already terminal: Done() closed at creation
+	if st2.State != StateDone || !st2.Cached {
+		t.Fatalf("cache-hit job state %s cached=%v, want done/true", st2.State, st2.Cached)
+	}
+	if st1.Cached {
+		t.Fatal("first submission reported cached")
+	}
+	p1, _ := j1.Payload()
+	p2, _ := j2.Payload()
+	if !bytes.Equal(p1, p2) || st1.SHA256 != st2.SHA256 {
+		t.Fatalf("cached payload diverged: %s vs %s", st1.SHA256, st2.SHA256)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for two identical submissions, want 1", got)
+	}
+	if got := s.cHits.Value(); got != 1 {
+		t.Fatalf("serve.cache.hits = %d, want 1", got)
+	}
+	if s.Get(j2.ID) == nil {
+		t.Fatal("cache-hit job not registered — status endpoint would 404 it")
+	}
+	// A different tuple misses.
+	j3, err := s.Submit(seeded(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j3); st.Cached {
+		t.Fatal("distinct tuple reported cached")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("engine ran %d times for the distinct tuple, want 2 total", got)
+	}
+}
+
+// TestSchedulerCacheDisabled: CacheBytes < 0 switches the lane off —
+// identical sequential submissions re-run the engine.
+func TestSchedulerCacheDisabled(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Executors: 1, CacheBytes: -1,
+		runHook: func(context.Context, *JobSpec) ([]byte, *execMeta, error) {
+			runs.Add(1)
+			return []byte("x"), &execMeta{}, nil
+		}})
+	defer s.Drain(context.Background())
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(seeded(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, j); st.Cached {
+			t.Fatal("cached=true with the cache disabled")
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("engine ran %d times with the cache disabled, want 2", got)
+	}
+}
+
+// TestSchedulerSingleflightCoalesce: N concurrent submissions of one
+// tuple run the engine once; followers are marked Coalesced and all N
+// receive identical results.
+func TestSchedulerSingleflightCoalesce(t *testing.T) {
+	rec := telemetry.New(0)
+	var runs atomic.Int64
+	ch := make(chan struct{})
+	var once sync.Once
+	s := New(Config{Executors: 1, Telemetry: rec,
+		runHook: func(ctx context.Context, _ *JobSpec) ([]byte, *execMeta, error) {
+			runs.Add(1)
+			select {
+			case <-ch:
+				return []byte("shared"), &execMeta{}, nil
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}})
+	release := func() { once.Do(func() { close(ch) }) }
+	defer func() {
+		release()
+		s.Drain(context.Background())
+	}()
+
+	leader, err := s.Submit(seeded(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leader.Status().State != StateRunning {
+		time.Sleep(time.Millisecond)
+	}
+	var followers []*Job
+	for i := 0; i < 2; i++ {
+		f, err := s.Submit(seeded(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := f.Status(); !st.Coalesced {
+			t.Fatalf("follower %d not coalesced: %+v", i, st)
+		}
+		followers = append(followers, f)
+	}
+	release()
+	want := waitTerminal(t, leader)
+	if want.State != StateDone {
+		t.Fatalf("leader ended %s (%s)", want.State, want.Error)
+	}
+	for i, f := range followers {
+		st := waitTerminal(t, f)
+		if st.State != StateDone || st.SHA256 != want.SHA256 {
+			t.Fatalf("follower %d ended %s sha %s, want done/%s", i, st.State, st.SHA256, want.SHA256)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for 3 coalesced submissions, want 1", got)
+	}
+	if got := s.cCoalesced.Value(); got != 2 {
+		t.Fatalf("serve.dedup.coalesced = %d, want 2", got)
+	}
+}
+
+// TestSchedulerSingleflightWaiterCancel: cancelling one waiter — the
+// follower OR the leader — must not abort the shared execution; the
+// remaining waiter still receives its result.
+func TestSchedulerSingleflightWaiterCancel(t *testing.T) {
+	for _, cancelLeader := range []bool{false, true} {
+		name := "cancel-follower"
+		if cancelLeader {
+			name = "cancel-leader"
+		}
+		t.Run(name, func(t *testing.T) {
+			ch := make(chan struct{})
+			var once sync.Once
+			s := New(Config{Executors: 1,
+				runHook: func(ctx context.Context, _ *JobSpec) ([]byte, *execMeta, error) {
+					select {
+					case <-ch:
+						return []byte("survives"), &execMeta{}, nil
+					case <-ctx.Done():
+						return nil, nil, ctx.Err()
+					}
+				}})
+			release := func() { once.Do(func() { close(ch) }) }
+			defer func() {
+				release()
+				s.Drain(context.Background())
+			}()
+
+			leader, err := s.Submit(seeded(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for leader.Status().State != StateRunning {
+				time.Sleep(time.Millisecond)
+			}
+			follower, err := s.Submit(seeded(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim, survivor := follower, leader
+			if cancelLeader {
+				victim, survivor = leader, follower
+			}
+			if !victim.Cancel() {
+				t.Fatal("waiter cancel reported not-cancellable")
+			}
+			if st := victim.Status(); st.State != StateCancelled {
+				t.Fatalf("cancelled waiter state %s", st.State)
+			}
+			release()
+			// The shared run must have survived: had the cancel aborted the
+			// flight's context, the hook would have returned ctx.Err() and
+			// the survivor would end cancelled/failed instead of done.
+			st := waitTerminal(t, survivor)
+			if st.State != StateDone || string(mustPayload(t, survivor)) != "survives" {
+				t.Fatalf("surviving waiter ended %s (%s), want done", st.State, st.Error)
+			}
+		})
+	}
+}
+
+// TestSchedulerSingleflightLastWaiterCancelAborts: when the LAST waiter
+// detaches, nobody wants the result — the shared execution's context is
+// cancelled instead of burning engine time.
+func TestSchedulerSingleflightLastWaiterCancelAborts(t *testing.T) {
+	aborted := make(chan struct{})
+	s := New(Config{Executors: 1,
+		runHook: func(ctx context.Context, _ *JobSpec) ([]byte, *execMeta, error) {
+			<-ctx.Done()
+			close(aborted)
+			return nil, nil, ctx.Err()
+		}})
+	defer s.Drain(context.Background())
+
+	j, err := s.Submit(seeded(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Status().State != StateRunning {
+		time.Sleep(time.Millisecond)
+	}
+	if !j.Cancel() {
+		t.Fatal("cancel reported not-cancellable")
+	}
+	select {
+	case <-aborted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shared run not aborted after its last waiter cancelled")
+	}
+}
+
+// TestSchedulerFastPath: with FastPathValues enabled, a small job on an
+// idle scheduler runs inline — Submit returns a terminal job and the
+// fast-path counter ticks; an over-threshold job takes the queue.
+func TestSchedulerFastPath(t *testing.T) {
+	rec := telemetry.New(0)
+	s := New(Config{Executors: 2, FastPathValues: 2000, Telemetry: rec,
+		runHook: func(_ context.Context, spec *JobSpec) ([]byte, *execMeta, error) {
+			return []byte("fast"), &execMeta{}, nil
+		}})
+	defer s.Drain(context.Background())
+
+	j, err := s.Submit(seeded(1)) // 1000 scenarios · 1 sector ≤ 2000
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Status(); st.State != StateDone {
+		t.Fatalf("fast-path job not terminal at Submit return: %s", st.State)
+	}
+	if got := s.cFastRuns.Value(); got != 1 {
+		t.Fatalf("serve.fastpath.runs = %d, want 1", got)
+	}
+
+	big := seeded(2)
+	big.Scenarios = 5000 // over the threshold: must take the queue
+	j2, err := s.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j2); st.State != StateDone {
+		t.Fatalf("queued job ended %s (%s)", st.State, st.Error)
+	}
+	if got := s.cFastRuns.Value(); got != 1 {
+		t.Fatalf("serve.fastpath.runs = %d after over-threshold job, want still 1", got)
+	}
+}
+
+// TestResultDigestFixedAtCompletion: the wire digest is computed once
+// when the result is built and never re-derived — repeated encodes
+// produce identical bytes matching that one digest.
+func TestResultDigestFixedAtCompletion(t *testing.T) {
+	vals := make([]float32, 20000) // > one 64 KiB chunk, exercises the chunk loop
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	r := newValuesResult(vals)
+	sha := r.sha
+	if sha == "" {
+		t.Fatal("digest not fixed at completion")
+	}
+	b1 := r.bytes()
+	b2 := r.bytes()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repeated encodes diverged")
+	}
+	if got := digest(b1); got != sha {
+		t.Fatalf("wire digest %s != completion digest %s", got, sha)
+	}
+	if r.sha != sha {
+		t.Fatal("digest changed across downloads")
+	}
+	if want := encodeFloat32LE(vals); !bytes.Equal(b1, want) {
+		t.Fatal("chunked encode diverges from reference encoding")
+	}
+	if r.size() != len(b1) {
+		t.Fatalf("size %d != wire length %d", r.size(), len(b1))
+	}
+}
+
+// mustPayload unwraps a terminal job's payload bytes.
+func mustPayload(t *testing.T, j *Job) []byte {
+	t.Helper()
+	p, state := j.Payload()
+	if state != StateDone {
+		t.Fatalf("payload requested in state %s", state)
+	}
+	return p
+}

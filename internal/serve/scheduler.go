@@ -58,6 +58,26 @@ type Config struct {
 	// payloads) the registry keeps; the oldest are evicted first
 	// (default 1024). DELETE evicts eagerly.
 	RetainJobs int
+	// CacheBytes budgets the deterministic result cache (default
+	// 64 MiB; negative disables caching). Hits are served without
+	// touching quota, queue or executors — the determinism guarantee
+	// makes the cached bytes identical to a fresh run's.
+	CacheBytes int64
+	// CacheTenantBytes caps one tenant's attributed share of the cache
+	// (default CacheBytes/4). A tenant over its share evicts its own
+	// oldest entries first, so one tenant cannot flush the others.
+	CacheTenantBytes int64
+	// SingleflightOff disables coalescing of concurrent identical
+	// submissions onto one shared engine run (on by default).
+	SingleflightOff bool
+	// FastPathValues, when > 0, lets a submission whose
+	// Scenarios·Sectors is at or under it run inline on the submitting
+	// goroutine when the queue is empty and an executor slot is idle —
+	// skipping the queue hand-off and executor wakeup that dominate
+	// small-job latency. Submit then blocks for the job's (short)
+	// duration and returns a terminal job. 0 disables (the default for
+	// library users; decwi-served enables it).
+	FastPathValues int64
 	// Limits are the per-job admission bounds specs are validated
 	// against.
 	Limits Limits
@@ -90,6 +110,12 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 1024
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheTenantBytes == 0 {
+		c.CacheTenantBytes = c.CacheBytes / 4
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -108,24 +134,43 @@ type execMeta struct {
 // Job is one submitted job record: spec, lifecycle state, and (once
 // done) the result payload. All mutable state is guarded by mu; done is
 // closed exactly once, on the transition to a terminal state.
+//
+// Execution belongs to the job's flight, not the job: every admitted
+// job is attached to exactly one flight (cache-hit jobs, born
+// terminal, have none), and coalesced jobs share a flight with the
+// submission that created it. Cancel detaches from the flight; the
+// shared run is aborted only when the last waiter leaves.
 type Job struct {
 	ID   string
 	Spec JobSpec // validated, canonicalized replay tuple
 
 	s         *Scheduler
+	flight    *flight // nil only for cache-hit jobs
 	submitted time.Time
+	cached    bool // answered from the result cache, no engine run
+	coalesced bool // attached to another submission's flight
 
 	mu            sync.Mutex
 	state         JobState
 	started       time.Time
 	finished      time.Time
-	cancelRun     context.CancelFunc // non-nil only while running
 	userCancelled bool
 	errMsg        string
-	payload       []byte
-	sha           string
+	res           *result
 	meta          execMeta
 	done          chan struct{}
+}
+
+// markRunning records the queued→running transition (called by the
+// job's flight when the shared run starts, or at attach time when it
+// already has).
+func (j *Job) markRunning(now time.Time) {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = now
+	}
+	j.mu.Unlock()
 }
 
 // Done is closed when the job reaches a terminal state (the long-poll
@@ -137,13 +182,15 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:     j.ID,
-		Kind:   j.Spec.Kind,
-		State:  j.state,
-		Tenant: j.Spec.Tenant,
-		Config: j.Spec.Config,
-		Seed:   j.Spec.Seed,
-		Error:  j.errMsg,
+		ID:        j.ID,
+		Kind:      j.Spec.Kind,
+		State:     j.state,
+		Tenant:    j.Spec.Tenant,
+		Config:    j.Spec.Config,
+		Seed:      j.Spec.Seed,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
 	}
 	switch {
 	case !j.started.IsZero():
@@ -159,8 +206,8 @@ func (j *Job) Status() JobStatus {
 		st.ServiceUS = j.finished.Sub(j.started).Microseconds()
 	}
 	if j.state == StateDone {
-		st.Bytes = len(j.payload)
-		st.SHA256 = j.sha
+		st.Bytes = j.res.size()
+		st.SHA256 = j.res.sha
 		st.RejectionRate = j.meta.rejectionRate
 		st.Chunks = j.meta.chunks
 		st.Steals = j.meta.steals
@@ -169,41 +216,67 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
-// Payload returns the result bytes and the state they were observed
-// under; the bytes are non-nil only in StateDone.
+// Payload materializes the result bytes and the state they were
+// observed under; the bytes are non-nil only in StateDone. The HTTP
+// download path streams through Result instead — it never builds the
+// whole wire form.
 func (j *Job) Payload() ([]byte, JobState) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.payload, j.state
+	res, state := j.Result()
+	return res.bytes(), state
 }
 
-// Cancel requests cancellation: a queued job goes terminal immediately,
-// a running job has its context cancelled (the engine stops at the next
-// chunk boundary). Returns false if the job was already terminal.
+// Result returns the job's result (nil until StateDone) and state.
+func (j *Job) Result() (*result, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.state
+}
+
+// Cancel requests cancellation by detaching the job from its flight: a
+// queued job goes terminal immediately, and a running job's record
+// does too — but the shared engine execution is aborted only when this
+// was the LAST job attached to it (coalesced waiters must not lose
+// their result to someone else's cancel). Returns false if the job was
+// already terminal or its result is already landing.
 func (j *Job) Cancel() bool {
 	j.mu.Lock()
-	switch j.state {
-	case StateQueued:
-		j.userCancelled = true
-		j.state = StateCancelled
-		j.finished = j.s.now()
-		j.errMsg = "cancelled before start"
-		close(j.done)
-		j.mu.Unlock()
-		j.s.onTerminal(j, StateCancelled)
-		return true
-	case StateRunning:
-		j.userCancelled = true
-		cancel := j.cancelRun
-		j.mu.Unlock()
-		if cancel != nil {
-			cancel()
-		}
-		return true
-	default:
+	if j.state.Terminal() {
 		j.mu.Unlock()
 		return false
 	}
+	j.userCancelled = true
+	f := j.flight
+	j.mu.Unlock()
+	if f == nil {
+		// Cache-hit jobs are born terminal; a non-terminal job always
+		// carries a flight.
+		return false
+	}
+	detached, emptied := f.detach(j)
+	if !detached {
+		// Fan-out already began: the run's outcome resolves this job.
+		return false
+	}
+	if emptied {
+		// Last waiter gone — the shared run was aborted (if running) or
+		// the flight abandoned (if still queued); either way it must
+		// leave the dedup index so a later identical submission starts
+		// fresh.
+		j.s.dropFlight(f)
+	}
+	now := j.s.now()
+	j.mu.Lock()
+	j.state = StateCancelled
+	j.finished = now
+	if j.started.IsZero() {
+		j.errMsg = "cancelled before start"
+	} else {
+		j.errMsg = "cancelled"
+	}
+	close(j.done)
+	j.mu.Unlock()
+	j.s.onTerminal(j, StateCancelled)
+	return true
 }
 
 // Scheduler admits, queues and multiplexes jobs onto the engine.
@@ -211,16 +284,24 @@ type Scheduler struct {
 	cfg    Config
 	quotas *quotaSet
 	now    func() time.Time
+	cache  *resultCache // nil when caching is disabled
 
 	base  context.Context
 	abort context.CancelFunc
 
 	mu       sync.Mutex
 	draining bool
-	queue    chan *Job
+	queue    chan *flight
+	flights  map[string]*flight // live singleflight index, by cache key
 	jobs     map[string]*Job
 	terminal []string // eviction FIFO of terminal job IDs
 	seq      int64
+
+	// runSlots bounds concurrent engine executions at Executors across
+	// BOTH the pool and the inline fast path: an executor takes a slot
+	// before servicing a claimed flight, and a fast-path Submit only
+	// runs inline when it can take one without waiting.
+	runSlots chan struct{}
 
 	wg sync.WaitGroup
 
@@ -229,6 +310,16 @@ type Scheduler struct {
 	gInflight  *telemetry.Gauge
 	hQueueWait *telemetry.Histogram
 	hService   *telemetry.Histogram
+
+	cHits       *telemetry.Counter
+	cMisses     *telemetry.Counter
+	cEvictions  *telemetry.Counter
+	cCoalesced  *telemetry.Counter
+	cFastRuns   *telemetry.Counter
+	cFastQueued *telemetry.Counter
+	gCacheBytes *telemetry.Gauge
+	gCacheEnts  *telemetry.Gauge
+	hHitUS      *telemetry.Histogram
 
 	// labelMu/labels bound per-tenant metric cardinality: tenant names
 	// are client-supplied, and each distinct name interns counters
@@ -256,13 +347,14 @@ func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	rec := cfg.Telemetry
 	s := &Scheduler{
-		cfg:    cfg,
-		quotas: newQuotaSet(cfg.QuotaRate, cfg.QuotaBurst),
-		now:    cfg.now,
-		queue:  make(chan *Job, cfg.QueueDepth),
-		jobs:   map[string]*Job{},
-		labels: map[string]struct{}{},
-		rec:    rec,
+		cfg:     cfg,
+		quotas:  newQuotaSet(cfg.QuotaRate, cfg.QuotaBurst),
+		now:     cfg.now,
+		queue:   make(chan *flight, cfg.QueueDepth),
+		flights: map[string]*flight{},
+		jobs:    map[string]*Job{},
+		labels:  map[string]struct{}{},
+		rec:     rec,
 		gDepth: rec.Gauge("serve.queue-depth", "events",
 			"jobs admitted but not yet claimed by an executor"),
 		gInflight: rec.Gauge("serve.jobs-inflight", "events",
@@ -271,8 +363,33 @@ func New(cfg Config) *Scheduler {
 			"admission-to-execution wait per job — the backpressure signal"),
 		hService: rec.Histogram("serve.service-us", "us",
 			"execution wall time per job (engine run + payload encode)"),
+		cHits: rec.Counter("serve.cache.hits", "events",
+			"submissions answered from the deterministic result cache without an engine run"),
+		cMisses: rec.Counter("serve.cache.misses", "events",
+			"submissions whose replay tuple was not cached"),
+		cEvictions: rec.Counter("serve.cache.evictions", "events",
+			"cache entries evicted under the byte budget or a tenant cap"),
+		cCoalesced: rec.Counter("serve.dedup.coalesced", "events",
+			"submissions coalesced onto another submission's in-flight execution"),
+		cFastRuns: rec.Counter("serve.fastpath.runs", "events",
+			"small jobs run inline on the submitting goroutine, skipping the queue hand-off"),
+		cFastQueued: rec.Counter("serve.fastpath.queued", "events",
+			"fast-path-eligible jobs that took the queue because no executor slot was idle"),
+		gCacheBytes: rec.Gauge("serve.cache.bytes", "bytes",
+			"current result-cache occupancy"),
+		gCacheEnts: rec.Gauge("serve.cache.entries", "events",
+			"current result-cache entry count"),
+		hHitUS: rec.Histogram("serve.cache.hit-us", "us",
+			"submit-to-terminal latency of cache-hit jobs"),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newResultCache(cfg.CacheBytes, cfg.CacheTenantBytes)
 	}
 	s.base, s.abort = context.WithCancel(context.Background())
+	s.runSlots = make(chan struct{}, cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		s.runSlots <- struct{}{}
+	}
 	s.wg.Add(cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
 		go s.executor()
@@ -305,35 +422,106 @@ func (s *Scheduler) tenantLabel(tenant string) string {
 	return tenant
 }
 
-// Submit validates spec, applies admission control, and enqueues the
-// job. It never blocks: the outcome is an admitted *Job or a typed
-// rejection (ValidationError, ErrDraining, ErrQueueFull, ErrQuota).
+// rejectedDesc/admittedDesc keep the per-tenant lifecycle counter
+// descriptions in one place.
+const (
+	rejectedDesc = "submissions rejected by admission control (draining, queue full, or quota)"
+	admittedDesc = "jobs accepted into the admission queue"
+)
+
+// Submit validates spec, applies admission control, and admits the job
+// through the cheapest lane that can serve it:
+//
+//  1. cache hit — the replay tuple's result is already cached; the job
+//     is returned terminal (StateDone) without touching quota, queue or
+//     executors;
+//  2. singleflight — an identical tuple is already queued or running;
+//     the job attaches as a waiter and shares that execution;
+//  3. fast path — a small job (Scenarios·Sectors ≤ FastPathValues)
+//     finds an empty queue and an idle executor slot, and runs inline
+//     on the submitting goroutine (Submit then blocks for its short
+//     duration and returns a terminal job);
+//  4. queue — the ordinary bounded hand-off to the executor pool.
+//
+// Lanes 2 and 3 still return immediately-pollable jobs; only the
+// outcome of the typed rejections changes nothing: a request that
+// cannot be admitted is still refused with ValidationError, ErrDraining,
+// ErrQueueFull or ErrQuota, never parked. Cache hits and coalesced
+// waiters deliberately skip the quota spend — they cost no engine time,
+// and the token bucket protects the engine.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(s.cfg.Limits); err != nil {
 		return nil, &ValidationError{Err: err}
 	}
 	now := s.now()
+	key := spec.cacheKey()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
-			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
 		return nil, ErrDraining
 	}
-	if len(s.queue) == cap(s.queue) {
-		s.mu.Unlock()
-		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
-			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
-		return nil, ErrQueueFull
+
+	// Lane 1: the deterministic result cache.
+	if s.cache != nil {
+		if res, meta, ok := s.cache.get(key); ok {
+			job := s.newJobLocked(spec, now)
+			job.cached = true
+			job.state = StateDone
+			job.started = now
+			job.finished = now
+			job.res = res
+			job.meta = meta
+			close(job.done)
+			s.jobs[job.ID] = job
+			s.mu.Unlock()
+			s.cHits.Add(1)
+			s.hHitUS.Record(s.now().Sub(now).Microseconds())
+			s.tenantCounter("serve.jobs-admitted", spec.Tenant, admittedDesc).Add(1)
+			s.onTerminal(job, StateDone)
+			return job, nil
+		}
+		s.cMisses.Add(1)
 	}
-	if !s.quotas.allow(spec.Tenant, now) {
-		s.mu.Unlock()
-		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
-			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
-		return nil, ErrQuota
+
+	// Lane 2: singleflight — attach to an identical in-flight tuple.
+	if !s.cfg.SingleflightOff {
+		if f := s.flights[key]; f != nil {
+			job := s.newJobLocked(spec, now)
+			job.flight = f
+			job.coalesced = true
+			if f.attach(job, now) {
+				s.jobs[job.ID] = job
+				s.mu.Unlock()
+				s.cCoalesced.Add(1)
+				s.tenantCounter("serve.jobs-admitted", spec.Tenant, admittedDesc).Add(1)
+				return job, nil
+			}
+			// The flight completed or was abandoned between the index
+			// lookup and the attach; fall through and lead a fresh one
+			// with the job we already minted.
+			job.flight = nil
+			job.coalesced = false
+			if err := s.admitLeaderLocked(job, key, now); err != nil {
+				return nil, err
+			}
+			return job, nil
+		}
 	}
+
+	job := s.newJobLocked(spec, now)
+	if err := s.admitLeaderLocked(job, key, now); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// newJobLocked mints a job record (caller holds s.mu). The job is not
+// yet registered in the jobs map — the admitting lane does that once
+// admission is certain.
+func (s *Scheduler) newJobLocked(spec JobSpec, now time.Time) *Job {
 	s.seq++
-	job := &Job{
+	return &Job{
 		ID:        fmt.Sprintf("j-%08d", s.seq),
 		Spec:      spec,
 		s:         s,
@@ -341,27 +529,85 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
-	// Depth is incremented before the send so an executor claiming the
-	// job immediately can never decrement first (the gauge would read a
-	// transient -1 otherwise).
+}
+
+// admitLeaderLocked runs the ordinary admission path for a job leading
+// a fresh flight: queue-capacity and quota checks, then either the
+// inline fast path (lane 3) or the bounded queue hand-off (lane 4).
+// Called with s.mu held; releases it on every path.
+func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error {
+	spec := &job.Spec
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		return ErrQueueFull
+	}
+	if !s.quotas.allow(spec.Tenant, now) {
+		s.mu.Unlock()
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		return ErrQuota
+	}
+	f := newFlight(key, job.Spec, job)
+	job.flight = f
+	if !s.cfg.SingleflightOff {
+		s.flights[key] = f
+	}
+	s.jobs[job.ID] = job
+
+	// Lane 3: inline fast path. Validate already bounded the product
+	// by MaxScenarios, so it cannot overflow here.
+	if s.cfg.FastPathValues > 0 &&
+		spec.Scenarios*int64(spec.Sectors) <= s.cfg.FastPathValues &&
+		len(s.queue) == 0 {
+		select {
+		case <-s.runSlots:
+			// Drain waits on wg, and draining was rechecked under the
+			// mutex we still hold, so this run is always joined.
+			s.wg.Add(1)
+			s.mu.Unlock()
+			s.tenantCounter("serve.jobs-admitted", spec.Tenant, admittedDesc).Add(1)
+			s.cFastRuns.Add(1)
+			s.runFlight(f)
+			s.runSlots <- struct{}{}
+			s.wg.Done()
+			return nil
+		default:
+			s.cFastQueued.Add(1)
+		}
+	}
+
+	// Lane 4: the bounded queue. Depth is incremented before the send
+	// so an executor claiming the flight immediately can never
+	// decrement first (the gauge would read a transient -1 otherwise).
 	s.gDepth.Add(1)
 	// The capacity check above ran under mu and executors only drain the
 	// channel, so this send cannot block; the default arm is pure belt
 	// and braces.
 	select {
-	case s.queue <- job:
+	case s.queue <- f:
 	default:
 		s.gDepth.Add(-1)
+		delete(s.jobs, job.ID)
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
 		s.mu.Unlock()
-		s.tenantCounter("serve.jobs-rejected", spec.Tenant,
-			"submissions rejected by admission control (draining, queue full, or quota)").Add(1)
-		return nil, ErrQueueFull
+		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		return ErrQueueFull
 	}
-	s.jobs[job.ID] = job
 	s.mu.Unlock()
-	s.tenantCounter("serve.jobs-admitted", spec.Tenant,
-		"jobs accepted into the admission queue").Add(1)
-	return job, nil
+	s.tenantCounter("serve.jobs-admitted", spec.Tenant, admittedDesc).Add(1)
+	return nil
+}
+
+// dropFlight removes f from the dedup index if it is still the live
+// entry for its key (a successor flight must not be clobbered).
+func (s *Scheduler) dropFlight(f *flight) {
+	s.mu.Lock()
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
 }
 
 // Get returns the job record, or nil if unknown (never submitted, or
@@ -438,68 +684,113 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 }
 
-// executor is one pool worker: it claims queued jobs until the queue is
-// closed and drained.
+// executor is one pool worker: it claims queued flights until the queue
+// is closed and drained. The slot hand-off bounds total concurrent
+// engine runs (pool + inline fast path) at Executors.
 func (s *Scheduler) executor() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for f := range s.queue {
 		s.gDepth.Add(-1)
-		s.runJob(job)
+		<-s.runSlots
+		s.runFlight(f)
+		s.runSlots <- struct{}{}
 	}
 }
 
-// runJob executes one claimed job end to end and records its terminal
-// state, payload and telemetry.
-func (s *Scheduler) runJob(job *Job) {
+// runFlight executes one claimed flight end to end: one engine run,
+// fanned out to every job still attached at completion. On success the
+// result enters the deterministic cache before the flight leaves the
+// dedup index, so a submission racing the completion either coalesces
+// onto this flight or hits the cache — it never recomputes.
+func (s *Scheduler) runFlight(f *flight) {
 	start := s.now()
-	job.mu.Lock()
-	if job.state != StateQueued { // cancelled while queued
-		job.mu.Unlock()
-		return
-	}
-	job.state = StateRunning
-	job.started = start
-	timeout := time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	timeout := time.Duration(f.spec.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
 	ctx, cancel := context.WithTimeout(s.base, timeout)
-	job.cancelRun = cancel
-	job.mu.Unlock()
 	defer cancel()
 
-	s.hQueueWait.Record(start.Sub(job.submitted).Microseconds())
+	waiters := f.begin(cancel, start)
+	if waiters == nil {
+		// Every waiter cancelled before the flight was claimed; drop the
+		// abandoned flight from the index (Cancel usually already has).
+		s.dropFlight(f)
+		return
+	}
+	for _, j := range waiters {
+		s.hQueueWait.Record(start.Sub(j.submitted).Microseconds())
+	}
+
 	s.gInflight.Add(1)
-	payload, meta, err := s.executeRecovering(ctx, &job.Spec)
+	res, meta, err := s.executeRecovering(ctx, &f.spec)
 	finished := s.now()
 	s.gInflight.Add(-1)
 	s.hService.Record(finished.Sub(start).Microseconds())
 
-	job.mu.Lock()
-	job.finished = finished
-	job.cancelRun = nil
+	if err == nil {
+		s.cachePut(f.key, f.spec.Tenant, res, meta)
+	}
+	// Retire from the dedup index BEFORE sealing the flight: once done
+	// is set, attach refuses — a concurrent Submit that already looked
+	// up this flight falls back to leading a fresh one, and the index
+	// must not still point here when it registers it.
+	s.dropFlight(f)
+	for _, j := range f.finish() {
+		s.completeJob(j, finished, timeout, res, meta, err)
+	}
+}
+
+// completeJob lands one flight outcome on one attached job record.
+func (s *Scheduler) completeJob(j *Job, finished time.Time, timeout time.Duration, res *result, meta *execMeta, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() { // lost a race with Cancel's fan-out check
+		j.mu.Unlock()
+		return
+	}
+	j.finished = finished
 	switch {
 	case err == nil:
-		job.state = StateDone
-		job.payload = payload
-		job.sha = digest(payload)
+		j.state = StateDone
+		j.res = res
 		if meta != nil {
-			job.meta = *meta
+			j.meta = *meta
 		}
-	case job.userCancelled || errors.Is(err, context.Canceled):
-		job.state = StateCancelled
-		job.errMsg = "cancelled"
+	case j.userCancelled || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
 	case errors.Is(err, context.DeadlineExceeded):
-		job.state = StateFailed
-		job.errMsg = fmt.Sprintf("timeout after %v", timeout)
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("timeout after %v", timeout)
 	default:
-		job.state = StateFailed
-		job.errMsg = err.Error()
+		j.state = StateFailed
+		j.errMsg = err.Error()
 	}
-	state := job.state
-	close(job.done)
-	job.mu.Unlock()
-	s.onTerminal(job, state)
+	state := j.state
+	close(j.done)
+	j.mu.Unlock()
+	s.onTerminal(j, state)
+}
+
+// cachePut publishes a completed result to the cache and settles the
+// occupancy gauges and eviction counter.
+func (s *Scheduler) cachePut(key, tenant string, res *result, meta *execMeta) {
+	if s.cache == nil || res == nil {
+		return
+	}
+	var m execMeta
+	if meta != nil {
+		m = *meta
+	}
+	inserted, evicted := s.cache.put(key, tenant, res, m)
+	if !inserted && len(evicted) == 0 {
+		return
+	}
+	if n := len(evicted); n > 0 {
+		s.cEvictions.Add(int64(n))
+	}
+	s.gCacheBytes.Set(s.cache.totalBytes())
+	s.gCacheEnts.Set(int64(s.cache.len()))
 }
 
 // onTerminal records the lifecycle counter and applies the retention
@@ -529,23 +820,29 @@ func (s *Scheduler) onTerminal(job *Job, state JobState) {
 // of the server: Validate is the contract gate, but a spec that slips
 // through it (or an engine bug) must fail that one job, not kill the
 // executor goroutine and with it the whole process.
-func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec) (payload []byte, meta *execMeta, err error) {
+func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec) (res *result, meta *execMeta, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			payload, meta = nil, nil
+			res, meta = nil, nil
 			err = fmt.Errorf("serve: job panicked: %v", r)
 		}
 	}()
 	return s.execute(ctx, spec)
 }
 
-// execute runs the job's workload under ctx. The payload is a pure
+// execute runs the job's workload under ctx. The result is a pure
 // function of the spec's replay tuple: the engine guarantees the
 // generate bytes, and the risk report is a deterministic function of a
-// seeded Monte-Carlo run.
-func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) ([]byte, *execMeta, error) {
+// seeded Monte-Carlo run. The generate lane keeps the device-layout
+// []float32 as-is — the wire form is produced chunk-at-a-time at
+// download (or digest) time, never materialized whole.
+func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) (*result, *execMeta, error) {
 	if s.cfg.runHook != nil {
-		return s.cfg.runHook(ctx, spec)
+		raw, meta, err := s.cfg.runHook(ctx, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return newRawResult(raw), meta, nil
 	}
 	switch spec.Kind {
 	case KindGenerate:
@@ -555,7 +852,7 @@ func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) ([]byte, *execMe
 		if err != nil {
 			return nil, nil, err
 		}
-		return encodeFloat32LE(res.Values), &execMeta{
+		return newValuesResult(res.Values), &execMeta{
 			rejectionRate: res.RejectionRate,
 			chunks:        res.Chunks,
 			steals:        res.Steals,
@@ -584,7 +881,7 @@ func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) ([]byte, *execMe
 		if err != nil {
 			return nil, nil, err
 		}
-		return payload, &execMeta{risk: rep}, nil
+		return newRawResult(payload), &execMeta{risk: rep}, nil
 	default:
 		return nil, nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}

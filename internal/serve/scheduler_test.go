@@ -18,6 +18,16 @@ func genSpec() JobSpec {
 	}
 }
 
+// seeded is genSpec with a distinct seed — a distinct replay tuple.
+// Tests exercising queue, quota or cancel mechanics submit distinct
+// tuples so the fast lane (cache, singleflight) cannot collapse them;
+// the fast-lane tests submit identical tuples on purpose.
+func seeded(seed uint64) JobSpec {
+	s := genSpec()
+	s.Seed = seed
+	return s
+}
+
 // parkedHook returns a run hook that blocks every job until release is
 // closed (or its context ends), plus the release function.
 func parkedHook() (hook func(context.Context, *JobSpec) ([]byte, *execMeta, error), release func()) {
@@ -57,7 +67,7 @@ func TestSchedulerAdmissionAndDrain(t *testing.T) {
 	// One job runs (parked in the hook), two sit in the queue. The
 	// first must be claimed by the executor before the queue is filled,
 	// or the third submission would race against the dequeue.
-	first, err := s.Submit(genSpec())
+	first, err := s.Submit(seeded(1))
 	if err != nil {
 		t.Fatalf("submit 0: %v", err)
 	}
@@ -70,13 +80,13 @@ func TestSchedulerAdmissionAndDrain(t *testing.T) {
 	}
 	admitted := []*Job{first}
 	for i := 1; i < 3; i++ {
-		j, err := s.Submit(genSpec())
+		j, err := s.Submit(seeded(uint64(i + 1)))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		admitted = append(admitted, j)
 	}
-	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.Submit(seeded(90)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("submit into full queue returned %v, want ErrQueueFull", err)
 	}
 
@@ -87,7 +97,7 @@ func TestSchedulerAdmissionAndDrain(t *testing.T) {
 	for !s.Draining() {
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrDraining) {
+	if _, err := s.Submit(seeded(91)); !errors.Is(err, ErrDraining) {
 		t.Fatalf("submit while draining returned %v, want ErrDraining", err)
 	}
 
@@ -100,8 +110,8 @@ func TestSchedulerAdmissionAndDrain(t *testing.T) {
 		if st.State != StateDone {
 			t.Errorf("admitted job %d ended %s (%s), want done", i, st.State, st.Error)
 		}
-		if string(j.payload) != "payload" {
-			t.Errorf("admitted job %d payload %q", i, j.payload)
+		if p, _ := j.Payload(); string(p) != "payload" {
+			t.Errorf("admitted job %d payload %q", i, p)
 		}
 	}
 
@@ -147,14 +157,14 @@ func TestSchedulerQuota(t *testing.T) {
 	defer s.Drain(context.Background())
 
 	for i := 0; i < 2; i++ {
-		if _, err := s.Submit(genSpec()); err != nil {
+		if _, err := s.Submit(seeded(uint64(i + 1))); err != nil {
 			t.Fatalf("burst submit %d: %v", i, err)
 		}
 	}
-	if _, err := s.Submit(genSpec()); !errors.Is(err, ErrQuota) {
+	if _, err := s.Submit(seeded(3)); !errors.Is(err, ErrQuota) {
 		t.Fatalf("over-quota submit returned %v, want ErrQuota", err)
 	}
-	other := genSpec()
+	other := seeded(4)
 	other.Tenant = "t2"
 	if _, err := s.Submit(other); err != nil {
 		t.Fatalf("other tenant rejected: %v", err)
@@ -162,7 +172,7 @@ func TestSchedulerQuota(t *testing.T) {
 	mu.Lock()
 	clock = clock.Add(time.Second)
 	mu.Unlock()
-	if _, err := s.Submit(genSpec()); err != nil {
+	if _, err := s.Submit(seeded(5)); err != nil {
 		t.Fatalf("post-refill submit: %v", err)
 	}
 }
@@ -179,14 +189,14 @@ func TestSchedulerCancel(t *testing.T) {
 		s.Drain(context.Background())
 	}()
 
-	running, err := s.Submit(genSpec())
+	running, err := s.Submit(seeded(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for running.Status().State != StateRunning {
 		time.Sleep(time.Millisecond)
 	}
-	queued, err := s.Submit(genSpec())
+	queued, err := s.Submit(seeded(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +252,7 @@ func TestSchedulerRetention(t *testing.T) {
 
 	var jobs []*Job
 	for i := 0; i < 4; i++ {
-		j, err := s.Submit(genSpec())
+		j, err := s.Submit(seeded(uint64(i + 1)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,8 +285,10 @@ func TestSchedulerRemovePreservesRetention(t *testing.T) {
 		}})
 	defer s.Drain(context.Background())
 
+	var seedSeq uint64
 	run := func() *Job {
-		j, err := s.Submit(genSpec())
+		seedSeq++
+		j, err := s.Submit(seeded(seedSeq))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -344,7 +356,7 @@ func TestSchedulerCancelledQueueWait(t *testing.T) {
 		s.Drain(context.Background())
 	}()
 
-	running, err := s.Submit(genSpec())
+	running, err := s.Submit(seeded(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +367,7 @@ func TestSchedulerCancelledQueueWait(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	queued, err := s.Submit(genSpec())
+	queued, err := s.Submit(seeded(2))
 	if err != nil {
 		t.Fatal(err)
 	}

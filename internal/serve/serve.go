@@ -20,19 +20,32 @@
 //     DELETE /v1/jobs/{id}, with 429 + Retry-After under admission
 //     pressure and 503 while draining.
 //
+// On top of the scheduler sits the serve fast lane (cache.go,
+// singleflight.go): because every payload is a pure function of its
+// replay tuple, results are content-addressed by a canonical digest of
+// that tuple and served from a byte-budgeted LRU without touching the
+// scheduler, concurrent identical submissions coalesce onto one shared
+// engine run, and small jobs skip the queue hand-off entirely when an
+// executor is idle. Downloads stream straight from the device-layout
+// float32 buffer through pooled chunked writers, with the payload
+// digest computed once at job completion.
+//
 // Telemetry rides on the same live metrics plane as the engine: queue
-// and service histograms, depth/in-flight gauges, and per-tenant
-// admitted/rejected/cancelled counters, all scrapeable from one
-// metricsrv instance.
+// and service histograms, depth/in-flight gauges, cache/dedup/fast-path
+// instruments, and per-tenant admitted/rejected/cancelled counters, all
+// scrapeable from one metricsrv instance.
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 	"regexp"
+	"sync"
 	"time"
 
 	decwi "github.com/decwi/decwi"
@@ -308,6 +321,11 @@ type JobStatus struct {
 	// without downloading either payload.
 	Bytes  int    `json:"bytes,omitempty"`
 	SHA256 string `json:"sha256,omitempty"`
+	// Cached marks a job answered from the deterministic result cache
+	// (no engine run); Coalesced marks one that shared another
+	// submission's in-flight execution (singleflight dedup).
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 	// QueueWaitUS and ServiceUS are the same quantities the
 	// serve.queue-wait-us / serve.service-us histograms aggregate.
 	QueueWaitUS int64 `json:"queue_wait_us"`
@@ -336,6 +354,149 @@ func encodeFloat32LE(values []float32) []byte {
 func digest(payload []byte) string {
 	sum := sha256.Sum256(payload)
 	return hex.EncodeToString(sum[:])
+}
+
+// result is a completed job's payload held in its cheapest-to-serve
+// form. Generate results keep the engine's device-layout []float32
+// buffer as-is (the wire encoding is produced chunk-at-a-time through
+// pooled writers at download, never materialized whole); risk results
+// keep their report JSON. The wire digest is computed exactly once, at
+// completion, and reused by every download and status response. A
+// result is immutable after newValuesResult/newRawResult returns, so
+// the cache and any number of coalesced jobs may share one instance.
+type result struct {
+	raw    []byte    // risk report JSON; nil for generate results
+	values []float32 // generate device-layout buffer; nil for risk results
+	sha    string    // hex SHA-256 of the wire bytes, fixed at completion
+}
+
+// resultChunkBytes sizes the pooled download/digest chunks: large
+// enough to amortize Write syscalls over the loopback/TCP path, small
+// enough that a pool of them stays resident across bursts.
+const resultChunkBytes = 64 << 10
+
+// chunkPool recycles encode buffers across downloads and completion
+// digests (pointer-to-slice, so Put never allocates a box).
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, resultChunkBytes)
+	return &b
+}}
+
+// newValuesResult wraps a generate run's device-layout buffer and
+// fixes its wire digest.
+func newValuesResult(values []float32) *result {
+	r := &result{values: values}
+	r.finish()
+	return r
+}
+
+// newRawResult wraps an already-encoded payload (risk JSON, test
+// hooks) and fixes its wire digest.
+func newRawResult(raw []byte) *result {
+	r := &result{raw: raw}
+	r.finish()
+	return r
+}
+
+// finish computes the wire digest through the same chunked path a
+// download takes, so header and body can never disagree.
+func (r *result) finish() {
+	h := sha256.New()
+	_ = r.writeTo(h) // a hash.Hash never errors
+	r.sha = hex.EncodeToString(h.Sum(nil))
+}
+
+// size is the wire length in bytes (the Content-Length of a download).
+func (r *result) size() int {
+	if r == nil {
+		return 0
+	}
+	if r.values != nil {
+		return 4 * len(r.values)
+	}
+	return len(r.raw)
+}
+
+// writeTo streams the wire bytes into w. Generate payloads are encoded
+// straight out of the device-layout buffer through a pooled chunk —
+// the full payload is never duplicated in memory; risk payloads are a
+// single write of the stored JSON.
+func (r *result) writeTo(w io.Writer) error {
+	if r.values == nil {
+		_, err := w.Write(r.raw)
+		return err
+	}
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	vals := r.values
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > resultChunkBytes/4 {
+			n = resultChunkBytes / 4
+		}
+		for i, v := range vals[:n] {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// bytes materializes the wire form (tests and the Payload accessor;
+// the serving path never calls this).
+func (r *result) bytes() []byte {
+	if r == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	b.Grow(r.size())
+	_ = r.writeTo(&b) // a bytes.Buffer never errors
+	return b.Bytes()
+}
+
+// cacheKey is the canonical content address of the spec's replay
+// tuple: the hex SHA-256 of a length/width-explicit encoding of every
+// payload-determining field. It must be computed on a VALIDATED spec —
+// Validate canonicalizes the defaultable fields (seed 0 → 1, sectors
+// 0 → 1, risk portfolio defaults), so two submissions naming the same
+// effective tuple digest identically. Scheduling fields (Workers,
+// Shards, ChunkWorkItems) are deliberately excluded: the engine's
+// sequential-equivalence tentpole proves the bytes are invariant under
+// every scheduling choice, so a 1-worker and a 16-worker submission of
+// the same workload share one cache line. Tenant and TimeoutMS are
+// excluded too — they scope accounting, not bytes.
+func (spec *JobSpec) cacheKey() string {
+	h := sha256.New()
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	putF64 := func(f float64) { putU64(math.Float64bits(f)) }
+	putU64(uint64(len(spec.Kind)))
+	io.WriteString(h, string(spec.Kind))
+	putU64(uint64(spec.Config))
+	putU64(spec.Seed)
+	putU64(uint64(spec.Scenarios))
+	putU64(uint64(spec.Sectors))
+	putF64(spec.Variance)
+	putU64(uint64(len(spec.Variances)))
+	for _, v := range spec.Variances {
+		putF64(v)
+	}
+	putU64(uint64(spec.WorkItems))
+	putU64(spec.StreamOffset)
+	if spec.Kind == KindRisk {
+		putU64(uint64(spec.Obligors))
+		putF64(spec.PD)
+		putF64(spec.Exposure)
+		putF64(spec.BandUnit)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // retryAfter is the hint returned with 429/503 responses.

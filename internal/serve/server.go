@@ -153,7 +153,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if job == nil {
 		return
 	}
-	payload, state := job.Payload()
+	res, state := job.Result()
 	switch state {
 	case StateDone:
 	case StateFailed, StateCancelled:
@@ -171,9 +171,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
-	w.Header().Set("X-Decwi-Sha256", digest(payload))
-	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
-	_, _ = w.Write(payload)
+	// The digest was fixed once at job completion; downloads only echo
+	// it. The body streams straight off the device-layout buffer through
+	// pooled chunk writers — the full wire form is never materialized.
+	w.Header().Set("X-Decwi-Sha256", res.sha)
+	w.Header().Set("Content-Length", strconv.Itoa(res.size()))
+	_ = res.writeTo(w)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

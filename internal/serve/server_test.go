@@ -125,6 +125,11 @@ func TestServerReplayDeterminism(t *testing.T) {
 			if st1.SHA256 != st2.SHA256 || !bytes.Equal(p1, p2) {
 				t.Fatalf("replay diverged: %s vs %s", st1.SHA256, st2.SHA256)
 			}
+			// The replay was also a cache hit — the byte-equality above is
+			// therefore exactly the cached-vs-fresh acceptance check.
+			if !st2.Cached {
+				t.Fatalf("second submission of the same tuple not served from the cache: %+v", st2)
+			}
 			seq, err := decwi.Generate(decwi.ConfigID(cfg), decwi.GenerateOptions{
 				Scenarios: 30000, Sectors: 2, Seed: 7,
 			})
@@ -262,7 +267,7 @@ func TestServerBackpressure(t *testing.T) {
 	// First job parks in the executor, second fills the queue. Wait for
 	// the executor to claim the first before filling the queue, or the
 	// second submission would race against the dequeue.
-	resp1, body1 := postJob(t, ts, "/v1/generate", genSpec())
+	resp1, body1 := postJob(t, ts, "/v1/generate", seeded(1))
 	if resp1.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit 1: %d %s", resp1.StatusCode, body1)
 	}
@@ -277,10 +282,10 @@ func TestServerBackpressure(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if resp, body := postJob(t, ts, "/v1/generate", genSpec()); resp.StatusCode != http.StatusAccepted {
+	if resp, body := postJob(t, ts, "/v1/generate", seeded(2)); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit 2: %d %s", resp.StatusCode, body)
 	}
-	resp, body := postJob(t, ts, "/v1/generate", genSpec())
+	resp, body := postJob(t, ts, "/v1/generate", seeded(3))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated submit: %d %s, want 429", resp.StatusCode, body)
 	}
@@ -292,7 +297,7 @@ func TestServerBackpressure(t *testing.T) {
 	for !sched.Draining() {
 		time.Sleep(time.Millisecond)
 	}
-	resp, body = postJob(t, ts, "/v1/generate", genSpec())
+	resp, body = postJob(t, ts, "/v1/generate", seeded(4))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining submit: %d %s, want 503", resp.StatusCode, body)
 	}
@@ -376,6 +381,37 @@ func TestServerJobLifecycle(t *testing.T) {
 	}
 	if r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID); err != nil || r.StatusCode != http.StatusNotFound {
 		t.Fatalf("evicted job status: %v %v", r.StatusCode, err)
+	}
+}
+
+// TestServerResultDigestStability: X-Decwi-Sha256 is fixed once at job
+// completion and only echoed by downloads — repeated GETs of one result
+// must carry the identical header, matching both the status digest and
+// the actual body bytes every time. (The header used to be re-hashed
+// from the payload on every download.)
+func TestServerResultDigestStability(t *testing.T) {
+	ts, _ := testServer(t, Config{Executors: 1})
+	spec := JobSpec{Config: 2, Seed: 13, Scenarios: 25000, Sectors: 2, Workers: 2}
+	st, first := runJobOverHTTP(t, ts, "/v1/generate", spec)
+	for i := 0; i < 3; i++ {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Header.Get("X-Decwi-Sha256"); got != st.SHA256 {
+			t.Fatalf("download %d header %s != completion digest %s", i, got, st.SHA256)
+		}
+		if !bytes.Equal(body, first) {
+			t.Fatalf("download %d body diverged", i)
+		}
+		if got := digest(body); got != st.SHA256 {
+			t.Fatalf("download %d body digest %s != header %s", i, got, st.SHA256)
+		}
 	}
 }
 

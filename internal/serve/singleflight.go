@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file is the singleflight lane: one shared engine execution per
+// replay tuple, fanned out to every job that named it. Determinism is
+// again what makes it safe — N concurrent submissions of the same
+// tuple would produce N bitwise-identical payloads, so running the
+// engine once and handing the one result to all N is observationally
+// indistinguishable and N−1 runs cheaper.
+//
+// Lifecycle: the first submission of a tuple becomes the flight's
+// leader and takes the ordinary admission path (quota, queue/fast
+// path); later submissions attach as waiters while the flight is live.
+// Execution belongs to the flight, not to any one job: cancelling a
+// waiter — the leader included — only detaches that job's record, and
+// the shared run is aborted only when the LAST waiter detaches (or
+// abandoned outright if that happens before an executor claims it).
+// Completion retires the flight from the dedup index, publishes the
+// result to the cache, and resolves every still-attached job.
+//
+// Lock order: Scheduler.mu → flight.mu → Job.mu. flight methods never
+// take Scheduler.mu; callers sequence the dedup-index bookkeeping.
+type flight struct {
+	key  string
+	spec JobSpec // the leader's validated spec — the tuple actually executed
+
+	mu        sync.Mutex
+	jobs      []*Job             // attached waiters (leader first)
+	cancel    context.CancelFunc // non-nil while the shared run executes
+	running   bool
+	done      bool // fan-out has begun: no attach/detach beyond this point
+	abandoned bool // every waiter detached before execution started
+}
+
+func newFlight(key string, spec JobSpec, leader *Job) *flight {
+	return &flight{key: key, spec: spec, jobs: []*Job{leader}}
+}
+
+// attach adds job as a waiter on the shared run. It reports false once
+// the flight is done or abandoned — the caller must then fall back to
+// a fresh flight of its own.
+func (f *flight) attach(job *Job, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done || f.abandoned {
+		return false
+	}
+	f.jobs = append(f.jobs, job)
+	if f.running {
+		job.markRunning(now)
+	}
+	return true
+}
+
+// begin marks the shared run started: every attached waiter goes
+// running, and cancel becomes the run's abort handle. It returns the
+// waiters present at start (nil when the flight was abandoned — the
+// caller skips execution entirely).
+func (f *flight) begin(cancel context.CancelFunc, now time.Time) []*Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.abandoned || len(f.jobs) == 0 {
+		return nil
+	}
+	f.running = true
+	f.cancel = cancel
+	for _, j := range f.jobs {
+		j.markRunning(now)
+	}
+	return append([]*Job(nil), f.jobs...)
+}
+
+// finish seals the flight and returns the waiters still attached; they
+// are the fan-out set. After finish, attach and detach both refuse.
+func (f *flight) finish() []*Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done = true
+	f.running = false
+	f.cancel = nil
+	return append([]*Job(nil), f.jobs...)
+}
+
+// detach removes job from the flight (a per-waiter cancellation). It
+// reports whether the job was detached and whether it was the last
+// waiter. Detaching the last waiter aborts a running shared execution
+// (nobody is left to want the result) or abandons a not-yet-claimed
+// one; detaching any earlier waiter leaves the shared run untouched.
+// Once fan-out has begun detach refuses — the result is landing.
+func (f *flight) detach(job *Job) (detached, emptied bool) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return false, false
+	}
+	idx := -1
+	for i, j := range f.jobs {
+		if j == job {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		f.mu.Unlock()
+		return false, false
+	}
+	f.jobs = append(f.jobs[:idx], f.jobs[idx+1:]...)
+	emptied = len(f.jobs) == 0
+	var abort context.CancelFunc
+	if emptied {
+		if f.running {
+			abort = f.cancel
+		} else {
+			f.abandoned = true
+		}
+	}
+	f.mu.Unlock()
+	if abort != nil {
+		abort()
+	}
+	return true, emptied
+}

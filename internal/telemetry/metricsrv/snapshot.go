@@ -63,3 +63,21 @@ func CheckSnapshot(body []byte) (counters, gauges, histograms int, err error) {
 	}
 	return len(b.Counters), len(b.Gauges), len(b.Histograms), nil
 }
+
+// SnapshotCounterValue extracts one counter's cumulative value from a
+// /snapshot JSON body by exact instrument name (including any [instance]
+// suffix). The boolean reports whether the counter was present — smoke
+// gates use this to assert a live server actually exercised a code path
+// (e.g. serve.cache.hits ≥ 1 after a repeat submission).
+func SnapshotCounterValue(body []byte, name string) (int64, bool, error) {
+	var b snapshotBody
+	if err := json.Unmarshal(body, &b); err != nil {
+		return 0, false, fmt.Errorf("snapshot is not well-formed JSON: %w", err)
+	}
+	for _, c := range b.Counters {
+		if c.Name == name {
+			return c.Value, true, nil
+		}
+	}
+	return 0, false, nil
+}

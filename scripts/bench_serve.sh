@@ -1,10 +1,17 @@
 #!/bin/sh
 # Service latency/throughput baseline: boots decwi-served, sweeps the
-# decwi-loadgen closed-loop harness across concurrency levels and writes
-# BENCH_6.json at the repository root — p50/p99/mean job latency plus
-# jobs/s and payload MB/s at each level, so the saturation point of the
-# admission-controlled service is a committed, diffable artifact.
-# Usage: scripts/bench_serve.sh [output.json] [concurrency levels...]
+# decwi-loadgen closed-loop harness and writes a committed, diffable
+# JSON artifact at the repository root.
+#
+# Two modes:
+#   scripts/bench_serve.sh [BENCH_6.json] [concurrency levels...]
+#       concurrency sweep (distinct tuples): p50/p99/mean latency,
+#       jobs/s and payload MB/s at each level — the BENCH_6 baseline.
+#   scripts/bench_serve.sh BENCH_9.json fastlane
+#       serve fast-lane levels at fixed concurrency 16: cache-cold
+#       (distinct tuples), cache-hot (one primed tuple repeated) and
+#       dedup-storm (one cold tuple stormed concurrently). Emits the
+#       hot/cold jobs-per-second speedup and fails below 5x.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,31 +46,80 @@ if [ -z "$API_URL" ]; then
     exit 1
 fi
 
-# One loadgen -json line per concurrency level; each request generates
-# config 2 x 20000 scenarios x 2 sectors (160 KB payloads).
+# One loadgen -json line per level; each request generates config 2 x
+# 20000 scenarios x 2 sectors (160 KB payloads).
 : > "$BENCH_TMP/levels.jsonl"
-for c in $levels; do
-    echo "bench_serve: concurrency $c ..." >&2
-    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json \
-        -requests $((c * 8)) -concurrency "$c" \
+if [ "$levels" = "fastlane" ]; then
+    C=16
+    N=$((C * 8))
+    # cache-cold: every request a distinct replay tuple — nothing to
+    # hit, nothing to coalesce; the full engine runs per job.
+    echo "bench_serve: fastlane cache-cold (c=$C, $N distinct tuples) ..." >&2
+    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json -label cache-cold \
+        -requests "$N" -concurrency "$C" -seed-base 1000 \
         -config 2 -scenarios 20000 -sectors 2 -workers 2 \
         >> "$BENCH_TMP/levels.jsonl"
-done
+    # cache-hot: prime one tuple, then repeat it N times — every request
+    # is a result-cache hit served without an engine run.
+    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -requests 1 -concurrency 1 \
+        -same-seed -seed-base 777 -config 2 -scenarios 20000 -sectors 2 -workers 2 \
+        > /dev/null
+    echo "bench_serve: fastlane cache-hot (c=$C, one primed tuple x $N) ..." >&2
+    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json -label cache-hot \
+        -requests "$N" -concurrency "$C" -same-seed -seed-base 777 \
+        -config 2 -scenarios 20000 -sectors 2 -workers 2 \
+        >> "$BENCH_TMP/levels.jsonl"
+    # dedup-storm: one COLD tuple stormed by all workers at once — the
+    # first wave coalesces onto a single engine run (singleflight), the
+    # rest hit the cache it populates.
+    echo "bench_serve: fastlane dedup-storm (c=$C, one cold tuple x $N) ..." >&2
+    "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json -label dedup-storm \
+        -requests "$N" -concurrency "$C" -same-seed -seed-base 888 \
+        -config 2 -scenarios 20000 -sectors 2 -workers 2 \
+        >> "$BENCH_TMP/levels.jsonl"
+else
+    for c in $levels; do
+        echo "bench_serve: concurrency $c ..." >&2
+        "$BENCH_TMP/decwi-loadgen" -url "$API_URL" -json \
+            -requests $((c * 8)) -concurrency "$c" \
+            -config 2 -scenarios 20000 -sectors 2 -workers 2 \
+            >> "$BENCH_TMP/levels.jsonl"
+    done
+fi
 
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID" || { echo "bench_serve: served exited non-zero" >&2; exit 1; }
 SERVED_PID=""
 
 cpu=$(sed -n 's/^model name[^:]*: *//p' /proc/cpuinfo 2>/dev/null | head -1)
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cpu="$cpu" '
-{ n++; lines[n] = "    " $0 }
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cpu="$cpu" -v fastlane="$levels" '
+{
+    n++; lines[n] = "    " $0
+    if (match($0, /"jobs_per_sec":[0-9.eE+-]+/)) {
+        jps[n] = substr($0, RSTART + 15, RLENGTH - 15) + 0
+    }
+    if ($0 ~ /"label":"cache-cold"/) cold = jps[n]
+    if ($0 ~ /"label":"cache-hot"/)  hot  = jps[n]
+}
 END {
     printf "{\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"cpu\": \"%s\",\n", cpu
+    if (fastlane == "fastlane" && cold > 0) {
+        printf "  \"speedup_hot_over_cold\": %.2f,\n", hot / cold
+    }
     printf "  \"levels\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
     printf "  ]\n}\n"
 }' "$BENCH_TMP/levels.jsonl" > "$out"
 
-echo "wrote $out ($(grep -c 'concurrency' "$out") concurrency levels)"
+if [ "$levels" = "fastlane" ]; then
+    speedup=$(sed -n 's/.*"speedup_hot_over_cold": \([0-9.]*\).*/\1/p' "$out")
+    echo "bench_serve: hot/cold speedup ${speedup}x"
+    awk -v s="$speedup" 'BEGIN { exit (s + 0 >= 5.0) ? 0 : 1 }' || {
+        echo "bench_serve: cache-hot speedup ${speedup}x below the 5x target" >&2
+        exit 1
+    }
+fi
+
+echo "wrote $out ($(grep -c 'concurrency' "$out") levels)"

@@ -41,6 +41,18 @@ go test -race -count=1 \
     -run 'TestFused|TestPropertyFused|TestRunItemPartBlockEquivalence|TestSimulateMCPipeEquivalence|TestPipe|TestConsumeBlock' \
     ./internal/core ./internal/creditrisk ./internal/rng/gamma
 
+# Serve fast-lane correctness under the race detector: cache semantics
+# (eviction, per-tenant accounting, hit-after-evict), singleflight
+# lifecycle (coalesce, waiter-cancel survival, last-waiter abort),
+# fast-path admission, digest-at-completion stability, and the
+# cached-vs-fresh byte equality of the HTTP replay tests. Named so a
+# narrowed filter can never drop the determinism-safety proof the
+# cache's correctness rests on.
+echo "== serve fast lane (cache, singleflight, fast path) under -race"
+go test -race -count=1 \
+    -run 'TestResultCache|TestSchedulerCache|TestSchedulerSingleflight|TestSchedulerFastPath|TestResultDigest|TestServerReplayDeterminism|TestServerResultDigestStability' \
+    ./internal/serve
+
 # Jump-ahead correctness under the race detector: the property suite
 # (Jump(a+b) == Jump(a);Jump(b), Jump ≡ n×Advance, golden vectors) plus
 # the stream-seek and substream equivalences. Named so a narrowed filter

@@ -41,7 +41,9 @@ if [ -z "$API_URL" ] || [ -z "$METRICS_URL" ]; then
 fi
 
 # Replay determinism over the wire: the same (seed, config) tuple twice
-# must return bitwise-identical payloads.
+# must return bitwise-identical payloads. With the result cache on by
+# default, the second submission is also the cache-hit smoke — the
+# snapshot assertion below requires the hit counter to have ticked.
 "$SERVE_TMP/decwi-loadgen" -url "$API_URL" -replay -config 2 -scenarios 30000
 
 # A small risk batch exercises the second workload end to end.
@@ -49,11 +51,14 @@ fi
 
 # The serve.* instruments must be live on the same metrics plane the
 # other CLIs use, and the /snapshot JSON must validate across scrapes.
+# The replay above re-submitted one tuple, so serve.cache.hits ≥ 1 —
+# a regression that silently disables the fast lane fails here.
 "$SERVE_TMP/decwi-promcheck" -url "$METRICS_URL" \
     -min-counters 3 -min-gauges 2 -min-histograms 2
 SNAPSHOT_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/snapshot#')
 "$SERVE_TMP/decwi-promcheck" -url "$SNAPSHOT_URL" -snapshot \
-    -min-counters 3 -min-gauges 2 -min-histograms 2
+    -min-counters 3 -min-gauges 2 -min-histograms 2 \
+    -require-counter serve.cache.hits=1 -require-counter serve.cache.misses=1
 
 # Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
 kill -TERM "$SERVED_PID"
