@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke bce-check metrics-smoke serve-smoke bench-serve bench-fastlane trace clean
+.PHONY: check vet build test race bench bench-json bench-smoke bench-compare bench-compare-smoke bce-check metrics-smoke serve-smoke trace-overhead bench-serve bench-fastlane trace clean
 
-check: vet build race bce-check bench-smoke bench-compare-smoke metrics-smoke serve-smoke
+check: vet build race bce-check bench-smoke bench-compare-smoke metrics-smoke serve-smoke trace-overhead
 
 vet:
 	$(GO) vet ./...
@@ -60,11 +60,17 @@ metrics-smoke:
 	sh scripts/metrics_smoke.sh
 
 # Service smoke: boot decwi-served, run a replay-determinism check and a
-# risk batch through decwi-loadgen, validate the live metrics plane
-# (including the serve.cache.hits floor the replay must have ticked),
-# and require a clean SIGTERM drain.
+# risk batch through decwi-loadgen (with the per-phase breakdown),
+# validate the live metrics plane and the /debug/jobs trace surface,
+# render a job trace with decwi-trace -job, require a clean SIGTERM
+# drain, and prove /healthz degrades under an injected slow executor.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Tracing non-perturbation gate: cache-hot throughput with the flight
+# recorder + SLO plane on must hold ≥ 0.90x the tracing-off run.
+trace-overhead:
+	sh scripts/trace_overhead.sh
 
 # Service latency/throughput baseline (BENCH_6.json at the repo root):
 # p50/p99 job latency and saturation throughput across concurrency levels.

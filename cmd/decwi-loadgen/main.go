@@ -16,6 +16,12 @@
 //	decwi-loadgen -url http://... -kind risk -requests 16 -json
 //	decwi-loadgen -url http://... -replay       # determinism check, 2 submits
 //	decwi-loadgen -url http://... -same-seed    # one tuple repeated: cache-hot
+//	decwi-loadgen -url http://... -phases       # per-phase latency breakdown
+//
+// Every submission carries a client-minted W3C traceparent header, so
+// each job's flight-recorder trace (GET /debug/jobs/{trace-id}) is
+// addressable from the client side; the server must echo the same
+// trace id back through the job status.
 package main
 
 import (
@@ -55,6 +61,16 @@ type jobStatus struct {
 	State  string `json:"state"`
 	Error  string `json:"error,omitempty"`
 	SHA256 string `json:"sha256,omitempty"`
+	// Observability echo: the server's trace id (must match the
+	// traceparent this client sent), admission lane, and the per-phase
+	// server-side timings the -phases breakdown aggregates.
+	TraceID        string `json:"trace_id,omitempty"`
+	Lane           string `json:"lane,omitempty"`
+	QueueWaitUS    int64  `json:"queue_wait_us,omitempty"`
+	ServiceUS      int64  `json:"service_us,omitempty"`
+	AdmittedUnixUS int64  `json:"admitted_unix_us,omitempty"`
+	StartedUnixUS  int64  `json:"started_unix_us,omitempty"`
+	FinishedUnixUS int64  `json:"finished_unix_us,omitempty"`
 }
 
 func main() {
@@ -72,6 +88,7 @@ func main() {
 	label := flag.String("label", "", "free-form level name echoed into the summary (bench bookkeeping)")
 	jsonOut := flag.Bool("json", false, "emit the summary as a JSON object on stdout")
 	replay := flag.Bool("replay", false, "determinism check: submit one spec twice and require byte-identical payloads")
+	phases := flag.Bool("phases", false, "print a per-phase latency breakdown (submit RTT, queue wait, engine, download) from the server's job timings")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall per-job client deadline")
 	flag.Parse()
 
@@ -110,7 +127,7 @@ func main() {
 		err = lg.run(spec, runOpts{
 			requests: *requests, concurrency: *concurrency,
 			seedBase: *seedBase, sameSeed: *sameSeed,
-			label: *label, jsonOut: *jsonOut,
+			label: *label, jsonOut: *jsonOut, phases: *phases,
 		})
 	}
 	if err != nil {
@@ -126,9 +143,25 @@ type loadgen struct {
 	retried atomic.Int64 // 429/503 submissions retried after backoff
 }
 
-// submit POSTs the spec, retrying 429/503 after the server's
-// Retry-After hint, and returns the accepted job's status.
-func (lg *loadgen) submit(spec jobSpec) (jobStatus, error) {
+// newTraceparent mints a W3C traceparent header for one submission, so
+// the server adopts the client's trace id instead of minting its own —
+// the /debug/jobs lookup key is then known before the job id is.
+func newTraceparent() string {
+	// The low word is ORed with 1: an all-zero trace or parent id is
+	// invalid per the spec and the server would mint its own instead.
+	return fmt.Sprintf("00-%016x%016x-%016x-01",
+		rand.Uint64(), rand.Uint64()|1, rand.Uint64()|1)
+}
+
+// traceIDOf extracts the 32-hex trace-id field of a traceparent.
+func traceIDOf(traceparent string) string {
+	return traceparent[3:35]
+}
+
+// submit POSTs the spec with the given traceparent, retrying 429/503
+// after the server's Retry-After hint, and returns the accepted job's
+// status.
+func (lg *loadgen) submit(spec jobSpec, traceparent string) (jobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return jobStatus{}, err
@@ -136,7 +169,13 @@ func (lg *loadgen) submit(spec jobSpec) (jobStatus, error) {
 	endpoint := lg.base + "/v1/" + spec.Kind
 	deadline := time.Now().Add(lg.timeout)
 	for {
-		resp, err := lg.client.Post(endpoint, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+		if err != nil {
+			return jobStatus{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", traceparent)
+		resp, err := lg.client.Do(req)
 		if err != nil {
 			return jobStatus{}, err
 		}
@@ -235,30 +274,55 @@ func (lg *loadgen) remove(id string) {
 	}
 }
 
+// jobPhases is one job's phase breakdown: submit and download are
+// client-observed round trips; queue and engine are the server's own
+// per-phase timings echoed through the job status.
+type jobPhases struct {
+	submit   time.Duration // POST round trip until 202 (incl. throttle retries)
+	queue    time.Duration // server-reported admission→start wait
+	engine   time.Duration // server-reported service (engine run) time
+	download time.Duration // result GET round trip
+	total    time.Duration // client-observed end-to-end latency
+}
+
 // oneJob runs a full submit → await → download → delete cycle and
-// returns the payload plus the client-observed latency.
-func (lg *loadgen) oneJob(spec jobSpec) ([]byte, time.Duration, error) {
+// returns the payload plus the client-observed phase timings.
+func (lg *loadgen) oneJob(spec jobSpec) ([]byte, jobPhases, error) {
+	var ph jobPhases
+	tp := newTraceparent()
 	start := time.Now()
-	st, err := lg.submit(spec)
+	st, err := lg.submit(spec, tp)
 	if err != nil {
-		return nil, 0, err
+		return nil, ph, err
+	}
+	ph.submit = time.Since(start)
+	// The server echoes the trace id it filed the job under; with
+	// tracing on it must be the one this client minted (empty means
+	// -flight 0, which is fine — there is just nothing to cross-check).
+	if st.TraceID != "" && st.TraceID != traceIDOf(tp) {
+		lg.remove(st.ID)
+		return nil, ph, fmt.Errorf("job %s: server trace id %s, sent %s", st.ID, st.TraceID, traceIDOf(tp))
 	}
 	st, err = lg.await(st.ID)
 	if err != nil {
 		lg.remove(st.ID)
-		return nil, 0, err
+		return nil, ph, err
 	}
 	if st.State != "done" {
 		lg.remove(st.ID)
-		return nil, 0, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+		return nil, ph, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
 	}
+	ph.queue = time.Duration(st.QueueWaitUS) * time.Microsecond
+	ph.engine = time.Duration(st.ServiceUS) * time.Microsecond
+	dlStart := time.Now()
 	payload, err := lg.fetchResult(st.ID)
-	lat := time.Since(start)
+	ph.download = time.Since(dlStart)
+	ph.total = time.Since(start)
 	lg.remove(st.ID)
 	if err != nil {
-		return nil, 0, err
+		return nil, ph, err
 	}
-	return payload, lat, nil
+	return payload, ph, nil
 }
 
 // replayCheck is the smoke-test mode: the same (seed, config) tuple
@@ -297,6 +361,34 @@ type summary struct {
 	Throughput  float64 `json:"jobs_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec"`
 	Retried429  int64   `json:"retried_429"`
+	// Phases is the per-phase breakdown (only with -phases).
+	Phases []phaseRow `json:"phases,omitempty"`
+}
+
+// phaseRow is one row of the -phases breakdown table.
+type phaseRow struct {
+	Name   string  `json:"name"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// phaseStats reduces one phase's samples to a table row.
+func phaseStats(name string, samples []time.Duration) phaseRow {
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	quantile := func(q float64) time.Duration {
+		return samples[int(q*float64(len(samples)-1))]
+	}
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	return phaseRow{
+		Name:   name,
+		P50MS:  float64(quantile(0.50).Microseconds()) / 1e3,
+		P99MS:  float64(quantile(0.99).Microseconds()) / 1e3,
+		MeanMS: float64(total.Microseconds()) / float64(len(samples)) / 1e3,
+	}
 }
 
 // runOpts parameterizes one measured load run.
@@ -307,6 +399,7 @@ type runOpts struct {
 	sameSeed    bool
 	label       string
 	jsonOut     bool
+	phases      bool
 }
 
 func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
@@ -320,6 +413,7 @@ func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		phases    []jobPhases
 		bytesIn   int64
 		firstErr  error
 	)
@@ -342,14 +436,15 @@ func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
 			for seed := range next {
 				s := spec
 				s.Seed = seed
-				payload, lat, err := lg.oneJob(s)
+				payload, ph, err := lg.oneJob(s)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
 				} else {
-					latencies = append(latencies, lat)
+					latencies = append(latencies, ph.total)
+					phases = append(phases, ph)
 					bytesIn += int64(len(payload))
 				}
 				mu.Unlock()
@@ -382,6 +477,22 @@ func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
 		MBPerSec:   float64(bytesIn) / 1e6 / wall.Seconds(),
 		Retried429: lg.retried.Load(),
 	}
+	if opt.phases {
+		pick := func(name string, f func(jobPhases) time.Duration) phaseRow {
+			samples := make([]time.Duration, len(phases))
+			for i, ph := range phases {
+				samples[i] = f(ph)
+			}
+			return phaseStats(name, samples)
+		}
+		sum.Phases = []phaseRow{
+			pick("submit", func(p jobPhases) time.Duration { return p.submit }),
+			pick("queue-wait", func(p jobPhases) time.Duration { return p.queue }),
+			pick("engine", func(p jobPhases) time.Duration { return p.engine }),
+			pick("download", func(p jobPhases) time.Duration { return p.download }),
+			pick("total", func(p jobPhases) time.Duration { return p.total }),
+		}
+	}
 	if opt.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		return enc.Encode(sum)
@@ -389,5 +500,11 @@ func (lg *loadgen) run(spec jobSpec, opt runOpts) error {
 	fmt.Printf("decwi-loadgen: %d %s jobs @ concurrency %d in %v\n", requests, spec.Kind, concurrency, wall.Round(time.Millisecond))
 	fmt.Printf("  latency  p50 %.1fms  p99 %.1fms  mean %.1fms\n", sum.P50MS, sum.P99MS, sum.MeanMS)
 	fmt.Printf("  throughput %.2f jobs/s, %.2f MB/s payload (%d throttled retries)\n", sum.Throughput, sum.MBPerSec, sum.Retried429)
+	if len(sum.Phases) > 0 {
+		fmt.Printf("  %-12s %9s %9s %9s\n", "phase", "p50", "p99", "mean")
+		for _, row := range sum.Phases {
+			fmt.Printf("  %-12s %7.1fms %7.1fms %7.1fms\n", row.Name, row.P50MS, row.P99MS, row.MeanMS)
+		}
+	}
 	return nil
 }

@@ -12,9 +12,11 @@
 //	decwi-promcheck -url http://...:9090/healthz -healthz
 //	decwi-promcheck -url http://...:9090/snapshot -snapshot
 //	decwi-promcheck -url http://...:9090/snapshot -snapshot -require-counter serve.cache.hits=1
+//	decwi-promcheck -url http://...:8080/debug/jobs -jobs -min-jobs 4
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/decwi/decwi/internal/telemetry/flight"
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
@@ -40,7 +43,11 @@ func main() {
 	minGauges := flag.Int("min-gauges", 1, "fail unless at least this many gauge families are present")
 	minHists := flag.Int("min-histograms", 1, "fail unless at least this many histogram families are present")
 	healthz := flag.Bool("healthz", false, "treat the URL as a liveness probe: require 200 and body \"ok\"")
+	expectDegraded := flag.Bool("expect-degraded", false, "with -healthz: require 503 and a \"degraded: ...\" body instead (SLO burn-rate smoke)")
 	snapshot := flag.Bool("snapshot", false, "treat the URL as a /snapshot JSON endpoint: fetch twice and validate both (schema, non-negative values and deltas, ordered histogram quantiles)")
+	jobs := flag.Bool("jobs", false, "treat the URL as a serve /debug/jobs endpoint: validate the listing schema and each listed trace's span tree (monotone times, parent/child containment)")
+	minJobs := flag.Int("min-jobs", 1, "with -jobs: fail unless at least this many traces are listed")
+	maxTraces := flag.Int("max-traces", 16, "with -jobs: fetch and validate at most this many individual traces")
 	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
 	var floors []counterFloor
 	flag.Func("require-counter", "with -snapshot: require counter name=min (value ≥ min); repeatable",
@@ -67,10 +74,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "decwi-promcheck: -require-counter needs -snapshot")
 		os.Exit(2)
 	}
-	if err := run(*url, *minCounters, *minGauges, *minHists, *healthz, *snapshot, floors, *timeout); err != nil {
+	if *expectDegraded && !*healthz {
+		fmt.Fprintln(os.Stderr, "decwi-promcheck: -expect-degraded needs -healthz")
+		os.Exit(2)
+	}
+	var err error
+	switch {
+	case *jobs:
+		err = runJobs(*url, *minJobs, *maxTraces, *timeout)
+	case *healthz:
+		err = runHealthz(*url, *expectDegraded, *timeout)
+	default:
+		err = run(*url, *minCounters, *minGauges, *minHists, *snapshot, floors, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-promcheck: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runJobs is the -jobs mode: validate a /debug/jobs listing and then
+// each listed trace's full span tree (up to maxTraces of them, newest
+// first) through the flight package's strict checkers.
+func runJobs(url string, minJobs, maxTraces int, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	body, err := fetch(client, url)
+	if err != nil {
+		return err
+	}
+	n, err := flight.CheckJobsJSON(body)
+	if err != nil {
+		return fmt.Errorf("invalid /debug/jobs listing: %w", err)
+	}
+	if n < minJobs {
+		return fmt.Errorf("only %d trace(s) listed, want ≥ %d", n, minJobs)
+	}
+	var listing flight.JobsJSON
+	if err := json.Unmarshal(body, &listing); err != nil {
+		return err
+	}
+	spansChecked, checked := 0, 0
+	for _, tr := range listing.Jobs {
+		if checked >= maxTraces {
+			break
+		}
+		tb, err := fetch(client, strings.TrimRight(url, "/")+"/"+tr.TraceID)
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", tr.TraceID, err)
+		}
+		spans, err := flight.CheckTraceJSON(tb)
+		if err != nil {
+			return fmt.Errorf("invalid trace %s (job %s): %w", tr.TraceID, tr.JobID, err)
+		}
+		spansChecked += spans
+		checked++
+	}
+	fmt.Printf("decwi-promcheck: OK — %d trace(s) listed, %d span tree(s) validated (%d spans)\n",
+		n, checked, spansChecked)
+	return nil
 }
 
 func fetch(client *http.Client, url string) ([]byte, error) {
@@ -85,7 +146,43 @@ func fetch(client *http.Client, url string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-func run(url string, minCounters, minGauges, minHists int, healthz, snapshot bool, floors []counterFloor, timeout time.Duration) error {
+// runHealthz is the -healthz mode: a liveness probe must answer
+// exactly 200 "ok\n"; with -expect-degraded it must instead answer 503
+// with a "degraded: <reason>" body — the shape the serve path's SLO
+// burn-rate plane produces under sustained objective misses.
+func runHealthz(url string, expectDegraded bool, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if expectDegraded {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("healthz status %s with body %q, want 503 degraded", resp.Status, body)
+		}
+		if !strings.HasPrefix(string(body), "degraded: ") {
+			return fmt.Errorf("healthz body %q, want \"degraded: <reason>\"", body)
+		}
+		fmt.Printf("decwi-promcheck: OK — %s degraded as expected (%s)\n",
+			url, strings.TrimSpace(string(body)))
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	if got := string(body); got != "ok\n" {
+		return fmt.Errorf("healthz body %q, want \"ok\\n\"", got)
+	}
+	fmt.Printf("decwi-promcheck: OK — %s healthy\n", url)
+	return nil
+}
+
+func run(url string, minCounters, minGauges, minHists int, snapshot bool, floors []counterFloor, timeout time.Duration) error {
 	client := &http.Client{Timeout: timeout}
 	if snapshot {
 		// Two scrapes: the first primes the server-side delta baseline,
@@ -130,13 +227,6 @@ func run(url string, minCounters, minGauges, minHists int, healthz, snapshot boo
 	body, err := fetch(client, url)
 	if err != nil {
 		return err
-	}
-	if healthz {
-		if got := string(body); got != "ok\n" {
-			return fmt.Errorf("healthz body %q, want \"ok\\n\"", got)
-		}
-		fmt.Printf("decwi-promcheck: OK — %s healthy\n", url)
-		return nil
 	}
 	counters, gauges, hists, err := metricsrv.CheckExposition(string(body))
 	if err != nil {

@@ -43,8 +43,11 @@ import (
 	"syscall"
 	"time"
 
+	"log/slog"
+
 	"github.com/decwi/decwi/internal/serve"
 	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/flight"
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
@@ -61,8 +64,23 @@ func main() {
 	cacheTenantBytes := flag.Int64("cache-tenant-bytes", 0, "per-tenant result cache byte cap (0 selects cache-bytes/4)")
 	fastPathValues := flag.Int64("fastpath-values", 65536, "scenarios·sectors at or under which an idle executor runs the job inline, skipping the queue hand-off (0 disables)")
 	dedup := flag.Bool("dedup", true, "coalesce concurrent identical submissions onto one engine run")
+	flightN := flag.Int("flight", 256, "flight-recorder ring: per-job traces retained for /debug/jobs (0 disables tracing)")
+	flightPinned := flag.Int("flight-pinned", 64, "slow/failed traces pinned past ring eviction")
+	flightSlow := flag.Duration("flight-slow", 250*time.Millisecond, "jobs at or over this duration are pinned in the flight recorder")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "per-job latency objective; done jobs slower than this (or failed jobs) burn error budget (0 disables the SLO plane)")
+	sloTarget := flag.Float64("slo-target", 0.99, "objective success ratio in (0,1)")
+	sloShort := flag.Duration("slo-window-short", 5*time.Minute, "short burn-rate window")
+	sloLong := flag.Duration("slo-window-long", time.Hour, "long burn-rate window")
+	logLevel := flag.String("log-level", "info", "structured JSON log level on stderr: debug, info, warn, error, off")
+	injectExecDelay := flag.Duration("inject-exec-delay", 0, "fault injection: pause every engine run this long (exercises the SLO plane; 0 in production)")
 	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decwi-served: %v\n", err)
+		os.Exit(1)
+	}
 
 	scfg := serve.Config{
 		QueueDepth:       *queueDepth,
@@ -75,11 +93,23 @@ func main() {
 		CacheTenantBytes: *cacheTenantBytes,
 		FastPathValues:   *fastPathValues,
 		SingleflightOff:  !*dedup,
+		Logger:           logger,
+		SLOLatency:       *sloLatency,
+		SLOTarget:        *sloTarget,
+		SLOShortWindow:   *sloShort,
+		SLOLongWindow:    *sloLong,
+		ExecDelay:        *injectExecDelay,
 	}
 	// The flag's "0 disables" spelling maps onto the Config's "negative
 	// disables" (whose 0 means "default 64 MiB").
 	if *cacheBytes == 0 {
 		scfg.CacheBytes = -1
+	}
+	if *sloLatency == 0 {
+		scfg.SLOLatency = -1
+	}
+	if *flightN > 0 {
+		scfg.Flight = flight.New(*flightN, *flightPinned, *flightSlow)
 	}
 
 	if err := run(*addr, scfg, *drainTimeout, mflags); err != nil {
@@ -88,19 +118,54 @@ func main() {
 	}
 }
 
+// buildLogger maps -log-level onto a JSON slog handler on stderr, or
+// nil (logging off) for "off". Structured records go to stderr next to
+// the human announce lines — scripts sed the announce lines and jq/grep
+// the JSON, and neither stream pollutes a piped stdout payload.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off", "none":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error, off)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
 func run(addr string, scfg serve.Config, drainTimeout time.Duration,
 	mflags *metricsrv.Flags) error {
 	// The service always records its scheduler telemetry, whether or not
 	// the -http observability server is up: the instruments are cheap
 	// and a later scrape should see history, not a cold start.
 	rec := telemetry.New(0)
-	stopMetrics, err := mflags.Start("decwi-served", rec)
+	msrv, stopMetrics, err := mflags.StartServer("decwi-served", rec)
 	if err != nil {
 		return err
 	}
 
 	scfg.Telemetry = rec
 	sched := serve.New(scfg)
+	if msrv != nil {
+		// /healthz degrades (503) while both SLO burn windows are hot, and
+		// /snapshot embeds the objective status under "slo".
+		msrv.SetHealth(sched.SLOHealth)
+		msrv.SetSLO(func() any {
+			st := sched.SLOStatus()
+			if st.Name == "" { // SLO plane disabled (-slo-latency 0)
+				return nil
+			}
+			return st
+		})
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -8,22 +8,36 @@
 //   - a plain-text stall-attribution report ranking which stream or
 //     loop-carried dependency cost the most cycles.
 //
+// With -job the tool switches sides: instead of running a kernel it
+// renders one serve-path job's flight-recorder trace — fetched from a
+// live decwi-served /debug/jobs/{id} endpoint or read from a saved
+// JSON file — into the same Chrome trace_event format, after running
+// the full schema/containment validation on it.
+//
 // Usage:
 //
 //	decwi-trace -config 3
 //	decwi-trace -config 1 -scenarios 50000 -sectors 4 -trace t.json -report r.txt
 //	decwi-trace -config 2 -cosim-quota 0       # skip the co-simulation pass
+//	decwi-trace -job http://127.0.0.1:8080/debug/jobs/job-000042 -trace job.json
+//	decwi-trace -job saved-trace.json -trace job.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/fpga"
 	"github.com/decwi/decwi/internal/perf"
 	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/flight"
 	"github.com/decwi/decwi/internal/telemetry/metricsrv"
 )
 
@@ -41,15 +55,100 @@ func main() {
 	tracePath := flag.String("trace", "decwi-trace.json", "output path for the Chrome trace_event JSON")
 	reportPath := flag.String("report", "", "output path for the stall-attribution report (default: stdout)")
 	ringCap := flag.Int("events", telemetry.DefaultRingCap, "event ring capacity (oldest events overwritten beyond this)")
+	jobSrc := flag.String("job", "", "render a serve-path job trace instead of running a kernel: a /debug/jobs/{id} URL or a saved trace JSON file")
 	mflags := metricsrv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
-		*cosimQuota, *tracePath, *reportPath, *ringCap,
-		*parallel, *shards, *workers, *chunkWI, mflags); err != nil {
+	var err error
+	if *jobSrc != "" {
+		err = runJob(*jobSrc, *tracePath)
+	} else {
+		err = run(*cfgNum, *scenarios, *sectors, *workItems, *seed,
+			*cosimQuota, *tracePath, *reportPath, *ringCap,
+			*parallel, *shards, *workers, *chunkWI, mflags)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "decwi-trace: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// fetchURL GETs a URL and returns its body, failing on non-200.
+func fetchURL(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// runJob is the -job mode: validate one flight-recorder trace (fetched
+// or read from disk) and render it to Chrome trace_event JSON. A
+// /debug/jobs listing URL is also accepted — the newest retained trace
+// is picked, so "-job http://host/debug/jobs" traces the last job.
+func runJob(src, tracePath string) error {
+	var body []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		body, err = fetchURL(src)
+		if err != nil {
+			return err
+		}
+		if n, lerr := flight.CheckJobsJSON(body); lerr == nil {
+			// A listing, not a single trace: follow the newest entry.
+			if n == 0 {
+				return fmt.Errorf("%s lists no retained traces", src)
+			}
+			var listing flight.JobsJSON
+			if err := json.Unmarshal(body, &listing); err != nil {
+				return err
+			}
+			body, err = fetchURL(strings.TrimRight(src, "/") + "/" + listing.Jobs[0].TraceID)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		body, err = os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+	}
+	// Validate before rendering: a malformed span tree (negative times,
+	// a child outside its parent) should fail the tool, not produce a
+	// silently wrong flame graph.
+	spans, err := flight.CheckTraceJSON(body)
+	if err != nil {
+		return fmt.Errorf("invalid job trace: %w", err)
+	}
+	var tj flight.TraceJSON
+	if err := json.Unmarshal(body, &tj); err != nil {
+		return err
+	}
+	out, err := tj.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+		return err
+	}
+	lane := tj.Lane
+	if lane == "" {
+		lane = "unknown"
+	}
+	fmt.Printf("decwi-trace: job %s trace %s — lane %s, state %s, %d spans, %dus\n",
+		tj.JobID, tj.TraceID, lane, tj.State, spans, tj.DurationUS)
+	fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	return nil
 }
 
 func run(cfgNum int, scenarios int64, sectors, workItems int, seed uint64,

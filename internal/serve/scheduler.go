@@ -5,11 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	decwi "github.com/decwi/decwi"
 	"github.com/decwi/decwi/internal/telemetry"
+	ftrace "github.com/decwi/decwi/internal/telemetry/flight"
+	"github.com/decwi/decwi/internal/telemetry/slo"
 )
 
 // This file is the job scheduler: the layer between the HTTP API and
@@ -85,6 +89,33 @@ type Config struct {
 	// the engine's own metrics for every job run (nil is fully
 	// supported: all recorder methods are nil-receiver safe).
 	Telemetry *telemetry.Recorder
+	// Flight, when non-nil, is the per-job flight recorder: every
+	// submission owns a trace (admission → validation → quota → cache →
+	// dedup → queue wait → engine run → per-chunk execution) retained in
+	// the recorder's bounded ring and served on /debug/jobs. nil is
+	// tracing-off under the same nil-receiver no-op contract as
+	// Telemetry — the hot path then carries only predictable branches.
+	Flight *ftrace.Recorder
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (rejections, terminal states, SLO transitions) carrying
+	// trace_id/job_id/tenant fields. nil logs nothing.
+	Logger *slog.Logger
+	// SLOLatency is the per-job latency objective: a done job slower
+	// than this — or any failed job — spends error budget. 0 selects
+	// 500ms; negative disables the SLO plane entirely.
+	SLOLatency time.Duration
+	// SLOTarget is the objective success ratio (default 0.99);
+	// SLOShortWindow/SLOLongWindow are the multi-window burn-rate
+	// windows (defaults 5m and 1h); SLOBurnThreshold is the rate both
+	// windows must reach for Degraded (default 1.0).
+	SLOTarget        float64
+	SLOShortWindow   time.Duration
+	SLOLongWindow    time.Duration
+	SLOBurnThreshold float64
+	// ExecDelay injects a fixed pause before every engine run — the
+	// fault hook behind decwi-served -inject-exec-delay, used to drive
+	// the SLO plane into degradation on demand. 0 in production.
+	ExecDelay time.Duration
 
 	// now is the injectable clock (tests); nil selects time.Now.
 	now func() time.Time
@@ -115,6 +146,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheTenantBytes == 0 {
 		c.CacheTenantBytes = c.CacheBytes / 4
+	}
+	if c.SLOLatency == 0 {
+		c.SLOLatency = 500 * time.Millisecond
+	}
+	if c.SLOTarget == 0 {
+		c.SLOTarget = 0.99
+	}
+	if c.SLOShortWindow == 0 {
+		c.SLOShortWindow = 5 * time.Minute
+	}
+	if c.SLOLongWindow == 0 {
+		c.SLOLongWindow = time.Hour
+	}
+	if c.SLOBurnThreshold == 0 {
+		c.SLOBurnThreshold = 1.0
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -150,6 +196,18 @@ type Job struct {
 	cached    bool // answered from the result cache, no engine run
 	coalesced bool // attached to another submission's flight
 
+	// trace is the job's flight-recorder timeline (nil when tracing is
+	// off); root is its top-level span and waitSpan the open
+	// queue-wait/shared-run-wait span markRunning closes. lane names the
+	// admission lane that served the job ("cache-hit", "coalesced",
+	// "fast-path", "queued"). All four are written only during admission
+	// while Scheduler.mu is held (readers reach the job through that
+	// mutex or through Submit's return) and are immutable afterwards.
+	trace    *ftrace.Trace
+	root     ftrace.SpanID
+	waitSpan ftrace.SpanID
+	lane     string
+
 	mu            sync.Mutex
 	state         JobState
 	started       time.Time
@@ -166,11 +224,30 @@ type Job struct {
 // already has).
 func (j *Job) markRunning(now time.Time) {
 	j.mu.Lock()
+	var tr *ftrace.Trace
+	var wait ftrace.SpanID
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = now
+		tr, wait = j.trace, j.waitSpan
 	}
 	j.mu.Unlock()
+	if tr != nil && wait != 0 {
+		tr.End(wait)
+	}
+}
+
+// attachTrace binds a trace to the job record and registers the job id
+// as a /debug/jobs lookup key. lane may be "" when the admission lane
+// is not yet decided (admitLeaderLocked settles it).
+func (j *Job) attachTrace(tr *ftrace.Trace, root ftrace.SpanID, lane string) {
+	j.trace = tr
+	j.root = root
+	tr.SetJob(j.ID)
+	if lane != "" {
+		j.lane = lane
+		tr.SetLane(lane)
+	}
 }
 
 // Done is closed when the job reaches a terminal state (the long-poll
@@ -191,6 +268,16 @@ func (j *Job) Status() JobStatus {
 		Error:     j.errMsg,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
+
+		TraceID:        j.trace.TraceID(),
+		Lane:           j.lane,
+		AdmittedUnixUS: j.submitted.UnixMicro(),
+	}
+	if !j.started.IsZero() {
+		st.StartedUnixUS = j.started.UnixMicro()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedUnixUS = j.finished.UnixMicro()
 	}
 	switch {
 	case !j.started.IsZero():
@@ -321,6 +408,27 @@ type Scheduler struct {
 	gCacheEnts  *telemetry.Gauge
 	hHitUS      *telemetry.Histogram
 
+	// The observability plane: flight recorder, structured logger, and
+	// the latency SLO tracker with its cumulative good/bad counters
+	// (the tracker samples these on demand in SLOStatus).
+	flightRec   *ftrace.Recorder
+	logger      *slog.Logger // nil = logging off (call sites guard)
+	slo         *slo.Tracker // nil = SLO plane off
+	sloGood     atomic.Int64
+	sloBad      atomic.Int64
+	sloDegraded atomic.Bool // last published state, for transition logs
+
+	cTraceJobs     *telemetry.Counter
+	cTraceSpans    *telemetry.Counter
+	gTraceRetained *telemetry.Gauge
+	gTracePinned   *telemetry.Gauge
+	cSLOGood       *telemetry.Counter
+	cSLOBad        *telemetry.Counter
+	hSLOLat        *telemetry.Histogram
+	gBurnShort     *telemetry.Gauge
+	gBurnLong      *telemetry.Gauge
+	gDegraded      *telemetry.Gauge
+
 	// labelMu/labels bound per-tenant metric cardinality: tenant names
 	// are client-supplied, and each distinct name interns counters
 	// permanently in the recorder. Beyond maxTenantLabels distinct
@@ -381,6 +489,37 @@ func New(cfg Config) *Scheduler {
 			"current result-cache entry count"),
 		hHitUS: rec.Histogram("serve.cache.hit-us", "us",
 			"submit-to-terminal latency of cache-hit jobs"),
+		flightRec: cfg.Flight,
+		logger:    cfg.Logger,
+		cTraceJobs: rec.Counter("serve.trace.jobs", "events",
+			"job traces started by the flight recorder"),
+		cTraceSpans: rec.Counter("serve.trace.spans", "events",
+			"spans recorded across finished job traces (stored + dropped)"),
+		gTraceRetained: rec.Gauge("serve.trace.retained", "events",
+			"traces currently retained by the flight recorder (ring + pinned)"),
+		gTracePinned: rec.Gauge("serve.trace.pinned", "events",
+			"slow/failed traces pinned past ring eviction"),
+		cSLOGood: rec.Counter("serve.slo.good", "events",
+			"terminal jobs that met the latency/error objective"),
+		cSLOBad: rec.Counter("serve.slo.bad", "events",
+			"terminal jobs that failed or exceeded the latency objective"),
+		hSLOLat: rec.Histogram("serve.slo.latency-us", "us",
+			"submit-to-terminal latency of SLO-accounted jobs"),
+		gBurnShort: rec.Gauge("serve.slo.burn-short-x1000", "events",
+			"short-window error-budget burn rate ×1000"),
+		gBurnLong: rec.Gauge("serve.slo.burn-long-x1000", "events",
+			"long-window error-budget burn rate ×1000"),
+		gDegraded: rec.Gauge("serve.slo.degraded", "events",
+			"1 while both burn windows exceed the threshold, else 0"),
+	}
+	if cfg.SLOLatency > 0 {
+		s.slo = slo.New(slo.Config{
+			Name:          "serve-latency",
+			Target:        cfg.SLOTarget,
+			ShortWindow:   cfg.SLOShortWindow,
+			LongWindow:    cfg.SLOLongWindow,
+			BurnThreshold: cfg.SLOBurnThreshold,
+		})
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = newResultCache(cfg.CacheBytes, cfg.CacheTenantBytes)
@@ -450,21 +589,44 @@ const (
 // waiters deliberately skip the quota spend — they cost no engine time,
 // and the token bucket protects the engine.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit carrying the caller's raw W3C traceparent
+// header ("" = none). A well-formed header has its trace id adopted, so
+// a client can follow one id across its own logs, the server's
+// structured logs, and /debug/jobs; anything else gets a freshly minted
+// id. With tracing off (Config.Flight nil) the trace is a nil *Trace
+// and every span operation below is a no-op.
+func (s *Scheduler) SubmitTraced(spec JobSpec, traceparent string) (*Job, error) {
+	tr := s.flightRec.Start(ftrace.TraceIDFrom(traceparent), string(spec.Kind))
+	if tr != nil {
+		s.cTraceJobs.Add(1)
+	}
+	root := tr.Begin("job", 0)
+	vspan := tr.Begin("validate", root)
 	if err := spec.Validate(s.cfg.Limits); err != nil {
+		tr.EndDetail(vspan, err.Error(), 0)
+		s.rejectTrace(tr, spec.Tenant, "validate", err)
 		return nil, &ValidationError{Err: err}
 	}
+	tr.End(vspan)
+	tr.SetTenant(spec.Tenant)
 	now := s.now()
 	key := spec.cacheKey()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		s.rejectTrace(tr, spec.Tenant, "draining", ErrDraining)
 		return nil, ErrDraining
 	}
 
 	// Lane 1: the deterministic result cache.
+	cspan := tr.Begin("cache-lookup", root)
 	if s.cache != nil {
 		if res, meta, ok := s.cache.get(key); ok {
+			tr.EndDetail(cspan, "hit", int64(res.size()))
 			job := s.newJobLocked(spec, now)
 			job.cached = true
 			job.state = StateDone
@@ -472,6 +634,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 			job.finished = now
 			job.res = res
 			job.meta = meta
+			job.attachTrace(tr, root, "cache-hit")
 			close(job.done)
 			s.jobs[job.ID] = job
 			s.mu.Unlock()
@@ -481,16 +644,23 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 			s.onTerminal(job, StateDone)
 			return job, nil
 		}
+		tr.EndDetail(cspan, "miss", 0)
 		s.cMisses.Add(1)
+	} else {
+		tr.EndDetail(cspan, "disabled", 0)
 	}
 
 	// Lane 2: singleflight — attach to an identical in-flight tuple.
 	if !s.cfg.SingleflightOff {
 		if f := s.flights[key]; f != nil {
+			dspan := tr.Begin("dedup", root)
 			job := s.newJobLocked(spec, now)
 			job.flight = f
 			job.coalesced = true
+			job.attachTrace(tr, root, "coalesced")
+			job.waitSpan = tr.Begin("shared-run-wait", root)
 			if f.attach(job, now) {
+				tr.EndDetail(dspan, "coalesced onto "+f.leaderID, 0)
 				s.jobs[job.ID] = job
 				s.mu.Unlock()
 				s.cCoalesced.Add(1)
@@ -500,6 +670,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 			// The flight completed or was abandoned between the index
 			// lookup and the attach; fall through and lead a fresh one
 			// with the job we already minted.
+			tr.EndDetail(dspan, "flight gone, leading fresh", 0)
+			tr.End(job.waitSpan)
+			job.waitSpan = 0
 			job.flight = nil
 			job.coalesced = false
 			if err := s.admitLeaderLocked(job, key, now); err != nil {
@@ -507,9 +680,11 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 			}
 			return job, nil
 		}
+		tr.Event("dedup", root, "leader")
 	}
 
 	job := s.newJobLocked(spec, now)
+	job.attachTrace(tr, root, "")
 	if err := s.admitLeaderLocked(job, key, now); err != nil {
 		return nil, err
 	}
@@ -537,16 +712,22 @@ func (s *Scheduler) newJobLocked(spec JobSpec, now time.Time) *Job {
 // Called with s.mu held; releases it on every path.
 func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error {
 	spec := &job.Spec
+	tr, root := job.trace, job.root
 	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		s.rejectTrace(tr, spec.Tenant, "queue", ErrQueueFull)
 		return ErrQueueFull
 	}
+	qspan := tr.Begin("quota", root)
 	if !s.quotas.allow(spec.Tenant, now) {
+		tr.EndDetail(qspan, "denied", 0)
 		s.mu.Unlock()
 		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		s.rejectTrace(tr, spec.Tenant, "quota", ErrQuota)
 		return ErrQuota
 	}
+	tr.EndDetail(qspan, "allowed", 0)
 	f := newFlight(key, job.Spec, job)
 	job.flight = f
 	if !s.cfg.SingleflightOff {
@@ -554,6 +735,7 @@ func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error
 	}
 	s.jobs[job.ID] = job
 
+	espan := tr.Begin("enqueue", root)
 	// Lane 3: inline fast path. Validate already bounded the product
 	// by MaxScenarios, so it cannot overflow here.
 	if s.cfg.FastPathValues > 0 &&
@@ -561,6 +743,10 @@ func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error
 		len(s.queue) == 0 {
 		select {
 		case <-s.runSlots:
+			job.lane = "fast-path"
+			tr.SetLane("fast-path")
+			tr.EndDetail(espan, "fast-path inline", 0)
+			job.waitSpan = tr.Begin("queue-wait", root)
 			// Drain waits on wg, and draining was rechecked under the
 			// mutex we still hold, so this run is always joined.
 			s.wg.Add(1)
@@ -576,6 +762,10 @@ func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error
 		}
 	}
 
+	job.lane = "queued"
+	tr.SetLane("queued")
+	tr.EndDetail(espan, "queued", int64(len(s.queue)))
+	job.waitSpan = tr.Begin("queue-wait", root)
 	// Lane 4: the bounded queue. Depth is incremented before the send
 	// so an executor claiming the flight immediately can never
 	// decrement first (the gauge would read a transient -1 otherwise).
@@ -593,6 +783,7 @@ func (s *Scheduler) admitLeaderLocked(job *Job, key string, now time.Time) error
 		}
 		s.mu.Unlock()
 		s.tenantCounter("serve.jobs-rejected", spec.Tenant, rejectedDesc).Add(1)
+		s.rejectTrace(tr, spec.Tenant, "queue", ErrQueueFull)
 		return ErrQueueFull
 	}
 	s.mu.Unlock()
@@ -722,11 +913,22 @@ func (s *Scheduler) runFlight(f *flight) {
 		s.hQueueWait.Record(start.Sub(j.submitted).Microseconds())
 	}
 
+	// The engine-run span lives on the leader's trace; per-chunk spans
+	// nest under it via ParallelOptions.Trace. If the leader cancelled
+	// (its trace already sealed), Begin returns 0 and the run simply
+	// goes unspanned there — the coalesced waiters still get their
+	// shared-timing copy in completeJob.
+	runSpan := f.leaderTrace.Begin("engine-run", f.leaderRoot)
 	s.gInflight.Add(1)
-	res, meta, err := s.executeRecovering(ctx, &f.spec)
+	res, meta, err := s.executeRecovering(ctx, &f.spec, f.leaderTrace, runSpan)
 	finished := s.now()
 	s.gInflight.Add(-1)
 	s.hService.Record(finished.Sub(start).Microseconds())
+	if err != nil {
+		f.leaderTrace.EndDetail(runSpan, err.Error(), 0)
+	} else {
+		f.leaderTrace.EndDetail(runSpan, "", int64(res.size()))
+	}
 
 	if err == nil {
 		s.cachePut(f.key, f.spec.Tenant, res, meta)
@@ -737,12 +939,12 @@ func (s *Scheduler) runFlight(f *flight) {
 	// must not still point here when it registers it.
 	s.dropFlight(f)
 	for _, j := range f.finish() {
-		s.completeJob(j, finished, timeout, res, meta, err)
+		s.completeJob(j, f, start, finished, timeout, res, meta, err)
 	}
 }
 
 // completeJob lands one flight outcome on one attached job record.
-func (s *Scheduler) completeJob(j *Job, finished time.Time, timeout time.Duration, res *result, meta *execMeta, err error) {
+func (s *Scheduler) completeJob(j *Job, f *flight, runStart, finished time.Time, timeout time.Duration, res *result, meta *execMeta, err error) {
 	j.mu.Lock()
 	if j.state.Terminal() { // lost a race with Cancel's fan-out check
 		j.mu.Unlock()
@@ -769,6 +971,14 @@ func (s *Scheduler) completeJob(j *Job, finished time.Time, timeout time.Duratio
 	state := j.state
 	close(j.done)
 	j.mu.Unlock()
+	if j.coalesced {
+		// A waiter's timeline shows the shared run with the leader's
+		// timing. Root-level on purpose: the run may have started before
+		// this waiter's own trace (late attach), so nesting it under the
+		// waiter's root could break parent/child time containment.
+		j.trace.Add("engine-run", 0, runStart, finished,
+			"shared with "+f.leaderID, int64(res.size()))
+	}
 	s.onTerminal(j, state)
 }
 
@@ -793,8 +1003,11 @@ func (s *Scheduler) cachePut(key, tenant string, res *result, meta *execMeta) {
 	s.gCacheEnts.Set(int64(s.cache.len()))
 }
 
-// onTerminal records the lifecycle counter and applies the retention
-// cap to the registry.
+// onTerminal records the lifecycle counter, settles the job's SLO
+// accounting and trace, emits the structured terminal log line, and
+// applies the retention cap to the registry. It runs exactly once per
+// job: every terminal transition (cache hit, cancel, flight fan-out)
+// funnels through it.
 func (s *Scheduler) onTerminal(job *Job, state JobState) {
 	switch state {
 	case StateDone:
@@ -807,6 +1020,53 @@ func (s *Scheduler) onTerminal(job *Job, state JobState) {
 		s.tenantCounter("serve.jobs-failed", job.Spec.Tenant,
 			"jobs that ended in an execution error or timeout").Add(1)
 	}
+
+	job.mu.Lock()
+	started := job.started
+	finished := job.finished
+	errMsg := job.errMsg
+	bytes := job.res.size()
+	job.mu.Unlock()
+	latency := finished.Sub(job.submitted)
+
+	// SLO accounting: cancellations are the client's choice, not the
+	// server missing its objective, so they spend no budget.
+	if s.slo != nil && state != StateCancelled {
+		s.hSLOLat.Record(latency.Microseconds())
+		if state == StateFailed || latency > s.cfg.SLOLatency {
+			s.sloBad.Add(1)
+			s.cSLOBad.Add(1)
+		} else {
+			s.sloGood.Add(1)
+			s.cSLOGood.Add(1)
+		}
+	}
+
+	s.finishTrace(job.trace, string(state), errMsg)
+
+	if s.logger != nil {
+		queueWait := latency
+		var service time.Duration
+		if !started.IsZero() {
+			queueWait = started.Sub(job.submitted)
+			service = finished.Sub(started)
+		}
+		args := []any{
+			slog.String("job_id", job.ID),
+			slog.String("trace_id", job.trace.TraceID()),
+			slog.String("tenant", job.Spec.Tenant),
+			slog.String("state", string(state)),
+			slog.String("lane", job.lane),
+			slog.Int64("queue_wait_us", queueWait.Microseconds()),
+			slog.Int64("service_us", service.Microseconds()),
+			slog.Int("bytes", bytes),
+		}
+		if errMsg != "" {
+			args = append(args, slog.String("error", errMsg))
+		}
+		s.logger.Info("job terminal", args...)
+	}
+
 	s.mu.Lock()
 	s.terminal = append(s.terminal, job.ID)
 	for len(s.terminal) > s.cfg.RetainJobs {
@@ -816,18 +1076,85 @@ func (s *Scheduler) onTerminal(job *Job, state JobState) {
 	s.mu.Unlock()
 }
 
+// finishTrace seals a trace and settles the serve.trace.* instruments.
+func (s *Scheduler) finishTrace(tr *ftrace.Trace, state, errMsg string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish(state, errMsg)
+	s.cTraceSpans.Add(int64(tr.SpanCount()))
+	st := s.flightRec.Stats()
+	s.gTraceRetained.Set(int64(st.Retained))
+	s.gTracePinned.Set(int64(st.Pinned))
+}
+
+// rejectTrace seals a rejected submission's trace and logs the
+// rejection. The per-tenant rejection counters stay at the call sites
+// (a validation rejection precedes tenant canonicalization and records
+// no counter, matching the pre-tracing behavior).
+func (s *Scheduler) rejectTrace(tr *ftrace.Trace, tenant, gate string, err error) {
+	if s.logger != nil {
+		s.logger.Warn("job rejected",
+			slog.String("gate", gate),
+			slog.String("tenant", tenant),
+			slog.String("trace_id", tr.TraceID()),
+			slog.String("error", err.Error()))
+	}
+	s.finishTrace(tr, "rejected", err.Error())
+}
+
+// FlightRecorder exposes the flight recorder (nil when tracing is off)
+// for the /debug/jobs endpoints and CLI wiring.
+func (s *Scheduler) FlightRecorder() *ftrace.Recorder { return s.flightRec }
+
+// SLOStatus evaluates the latency/error objective against the current
+// cumulative counters, settles the serve.slo.* gauges, and logs
+// degradation transitions. With the SLO plane disabled it returns the
+// zero (healthy) Status.
+func (s *Scheduler) SLOStatus() slo.Status {
+	if s.slo == nil {
+		return slo.Status{}
+	}
+	st := s.slo.Evaluate(s.sloGood.Load(), s.sloBad.Load())
+	s.gBurnShort.Set(int64(st.BurnShort * 1000))
+	s.gBurnLong.Set(int64(st.BurnLong * 1000))
+	if st.Degraded {
+		s.gDegraded.Set(1)
+	} else {
+		s.gDegraded.Set(0)
+	}
+	if was := s.sloDegraded.Swap(st.Degraded); was != st.Degraded && s.logger != nil {
+		if st.Degraded {
+			s.logger.Warn("slo degraded", slog.String("reason", st.Reason))
+		} else {
+			s.logger.Info("slo recovered", slog.String("objective", st.Name))
+		}
+	}
+	return st
+}
+
+// SLOHealth is the /healthz hook: healthy unless both burn windows are
+// hot. With the SLO plane disabled it always reports healthy.
+func (s *Scheduler) SLOHealth() (ok bool, reason string) {
+	st := s.SLOStatus()
+	if st.Degraded {
+		return false, st.Reason
+	}
+	return true, ""
+}
+
 // executeRecovering is the panic barrier between one job and the rest
 // of the server: Validate is the contract gate, but a spec that slips
 // through it (or an engine bug) must fail that one job, not kill the
 // executor goroutine and with it the whole process.
-func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec) (res *result, meta *execMeta, err error) {
+func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec, tr *ftrace.Trace, runSpan ftrace.SpanID) (res *result, meta *execMeta, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, meta = nil, nil
 			err = fmt.Errorf("serve: job panicked: %v", r)
 		}
 	}()
-	return s.execute(ctx, spec)
+	return s.execute(ctx, spec, tr, runSpan)
 }
 
 // execute runs the job's workload under ctx. The result is a pure
@@ -836,7 +1163,18 @@ func (s *Scheduler) executeRecovering(ctx context.Context, spec *JobSpec) (res *
 // seeded Monte-Carlo run. The generate lane keeps the device-layout
 // []float32 as-is — the wire form is produced chunk-at-a-time at
 // download (or digest) time, never materialized whole.
-func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) (*result, *execMeta, error) {
+func (s *Scheduler) execute(ctx context.Context, spec *JobSpec, tr *ftrace.Trace, runSpan ftrace.SpanID) (*result, *execMeta, error) {
+	if d := s.cfg.ExecDelay; d > 0 {
+		// Fault injection: a deliberately slow executor, for driving the
+		// SLO plane into degradation without a real overload.
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, ctx.Err()
+		case <-t.C:
+		}
+	}
 	if s.cfg.runHook != nil {
 		raw, meta, err := s.cfg.runHook(ctx, spec)
 		if err != nil {
@@ -848,11 +1186,16 @@ func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) (*result, *execM
 	case KindGenerate:
 		opt := spec.generateOptions()
 		opt.Telemetry = s.rec
+		opt.Trace = tr
+		opt.TraceSpan = runSpan
 		res, err := decwi.GenerateParallelContext(ctx, decwi.ConfigID(spec.Config), opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		return newValuesResult(res.Values), &execMeta{
+		dspan := tr.Begin("digest", runSpan)
+		out := newValuesResult(res.Values)
+		tr.EndDetail(dspan, "sha256:"+out.sha[:12], int64(out.size()))
+		return out, &execMeta{
 			rejectionRate: res.RejectionRate,
 			chunks:        res.Chunks,
 			steals:        res.Steals,
@@ -881,7 +1224,10 @@ func (s *Scheduler) execute(ctx context.Context, spec *JobSpec) (*result, *execM
 		if err != nil {
 			return nil, nil, err
 		}
-		return newRawResult(payload), &execMeta{risk: rep}, nil
+		dspan := tr.Begin("digest", runSpan)
+		out := newRawResult(payload)
+		tr.EndDetail(dspan, "sha256:"+out.sha[:12], int64(out.size()))
+		return out, &execMeta{risk: rep}, nil
 	default:
 		return nil, nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}

@@ -330,6 +330,19 @@ type JobStatus struct {
 	// serve.queue-wait-us / serve.service-us histograms aggregate.
 	QueueWaitUS int64 `json:"queue_wait_us"`
 	ServiceUS   int64 `json:"service_us,omitempty"`
+	// TraceID is the job's flight-recorder trace id (adopted from the
+	// submission's traceparent header, or minted at admission; empty
+	// with tracing off). Lane names the admission lane that served the
+	// job: "cache-hit", "coalesced", "fast-path" or "queued".
+	TraceID string `json:"trace_id,omitempty"`
+	Lane    string `json:"lane,omitempty"`
+	// Per-phase wall-clock timestamps (Unix microseconds): admission,
+	// queued→running, and the terminal transition. Started/Finished are
+	// zero until the job reaches the respective phase — a client can
+	// compute its own phase breakdown without scraping the trace.
+	AdmittedUnixUS int64 `json:"admitted_unix_us,omitempty"`
+	StartedUnixUS  int64 `json:"started_unix_us,omitempty"`
+	FinishedUnixUS int64 `json:"finished_unix_us,omitempty"`
 	// Generate-only scheduler echo.
 	RejectionRate float64 `json:"rejection_rate,omitempty"`
 	Chunks        int     `json:"chunks,omitempty"`

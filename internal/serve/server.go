@@ -52,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
 	return mux
 }
 
@@ -103,7 +105,7 @@ func (s *Server) submitHandler(kind JobKind) http.HandlerFunc {
 			return
 		}
 		spec.Kind = kind
-		job, err := s.sched.Submit(spec)
+		job, err := s.sched.SubmitTraced(spec, r.Header.Get("traceparent"))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -176,7 +178,41 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	// pooled chunk writers — the full wire form is never materialized.
 	w.Header().Set("X-Decwi-Sha256", res.sha)
 	w.Header().Set("Content-Length", strconv.Itoa(res.size()))
+	start := s.sched.now()
 	_ = res.writeTo(w)
+	// Stream-out lands on the (already sealed) trace as an
+	// externally-timed span: the download happens after the job went
+	// terminal, so it sits at the root level rather than under the
+	// closed "job" span.
+	job.trace.Add("stream-out", 0, start, s.sched.now(), "", int64(res.size()))
+}
+
+// handleDebugJobs serves the flight recorder's retained-trace listing.
+// 404 with tracing off: the endpoint's absence is itself the signal
+// that the server runs untraced (-flight 0).
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	rec := s.sched.FlightRecorder()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.Jobs())
+}
+
+// handleDebugJob serves one job's complete span tree, looked up by job
+// id or trace id.
+func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+	rec := s.sched.FlightRecorder()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled"})
+		return
+	}
+	tr, ok := rec.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job or trace id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

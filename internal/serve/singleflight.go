@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	ftrace "github.com/decwi/decwi/internal/telemetry/flight"
 )
 
 // This file is the singleflight lane: one shared engine execution per
@@ -29,6 +31,15 @@ type flight struct {
 	key  string
 	spec JobSpec // the leader's validated spec — the tuple actually executed
 
+	// The leader's identity and trace, captured at creation: the shared
+	// engine-run span lives on the leader's timeline, and coalesced
+	// waiters' traces cross-link it by leaderID. Immutable after
+	// newFlight (the leader detaching does not reassign them — the
+	// span's home does not move mid-run).
+	leaderID    string
+	leaderTrace *ftrace.Trace
+	leaderRoot  ftrace.SpanID
+
 	mu        sync.Mutex
 	jobs      []*Job             // attached waiters (leader first)
 	cancel    context.CancelFunc // non-nil while the shared run executes
@@ -38,7 +49,10 @@ type flight struct {
 }
 
 func newFlight(key string, spec JobSpec, leader *Job) *flight {
-	return &flight{key: key, spec: spec, jobs: []*Job{leader}}
+	return &flight{
+		key: key, spec: spec, jobs: []*Job{leader},
+		leaderID: leader.ID, leaderTrace: leader.trace, leaderRoot: leader.root,
+	}
 }
 
 // attach adds job as a waiter on the shared run. It reports false once

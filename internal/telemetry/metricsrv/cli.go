@@ -47,6 +47,14 @@ func (f *Flags) Start(prog string, rec *telemetry.Recorder) (stop func() error, 
 	return StartForCLI(prog, f.Addr, f.Linger, rec)
 }
 
+// StartServer is Start exposing the underlying *Server, for CLIs that
+// install hooks on it (SetHealth, SetSLO) after it is already
+// listening. srv is nil when -http was not given (stop is then a
+// no-op), so callers guard their hook wiring on it.
+func (f *Flags) StartServer(prog string, rec *telemetry.Recorder) (srv *Server, stop func() error, err error) {
+	return startForCLI(prog, f.Addr, f.Linger, rec)
+}
+
 // StartForCLI is the shared -http flag plumbing of the cmd/ binaries:
 // when addr is non-empty it binds the observability server for rec,
 // announces the resolved endpoint on stderr (":0" selects an ephemeral
@@ -58,19 +66,26 @@ func (f *Flags) Start(prog string, rec *telemetry.Recorder) (stop func() error, 
 // leaks nothing. When addr is empty, stop is a no-op and rec may be
 // nil.
 func StartForCLI(prog, addr string, linger time.Duration, rec *telemetry.Recorder) (stop func() error, err error) {
+	_, stop, err = startForCLI(prog, addr, linger, rec)
+	return stop, err
+}
+
+// startForCLI is the shared implementation behind StartForCLI and
+// Flags.StartServer.
+func startForCLI(prog, addr string, linger time.Duration, rec *telemetry.Recorder) (*Server, func() error, error) {
 	if addr == "" {
-		return func() error { return nil }, nil
+		return nil, func() error { return nil }, nil
 	}
 	srv, err := New(rec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bound, err := srv.Serve(addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fmt.Fprintf(os.Stderr, "%s: metrics on http://%s/metrics (also /healthz /snapshot /debug/pprof)\n", prog, bound)
-	return func() error {
+	return srv, func() error {
 		if linger > 0 {
 			time.Sleep(linger)
 		}

@@ -46,9 +46,30 @@ type Server struct {
 
 	mu       sync.Mutex
 	prev     map[string]int64 // counter name → value at the previous /snapshot
+	health   func() (ok bool, reason string)
+	slo      func() any
 	listener net.Listener
 	srv      *http.Server
 	done     chan struct{} // closed when the serve goroutine exits
+}
+
+// SetHealth installs a liveness hook consulted by /healthz: when it
+// reports unhealthy, the probe answers 503 with "degraded: <reason>"
+// instead of "ok" — the serve path wires its SLO burn-rate evaluation
+// here. nil (the default) restores the unconditional "ok".
+func (s *Server) SetHealth(h func() (ok bool, reason string)) {
+	s.mu.Lock()
+	s.health = h
+	s.mu.Unlock()
+}
+
+// SetSLO installs a hook whose return value is embedded in /snapshot
+// under "slo" (omitted when nil or when the hook returns nil) — the
+// serve path supplies its multi-window burn-rate Status.
+func (s *Server) SetSLO(f func() any) {
+	s.mu.Lock()
+	s.slo = f
+	s.mu.Unlock()
 }
 
 // New builds a server for rec (which must be non-nil: a disabled
@@ -66,10 +87,7 @@ func New(rec *telemetry.Recorder) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	// The pprof handlers are registered explicitly on the private mux:
 	// importing net/http/pprof for side effects would pollute the
@@ -87,11 +105,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = WriteExposition(w, s.rec)
 }
 
+// handleHealthz is the liveness probe. Without a health hook it answers
+// exactly "ok\n" (the contract promcheck -healthz asserts); with one
+// installed, an unhealthy report degrades the probe to 503 so a load
+// balancer or smoke gate sees SLO burn without parsing /snapshot.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	health := s.health
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if health != nil {
+		if ok, reason := health(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: %s\n", reason)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
 // snapshotBody is the /snapshot JSON shape.
 type snapshotBody struct {
 	Counters   []counterJSON `json:"counters"`
 	Gauges     []gaugeJSON   `json:"gauges"`
 	Histograms []histJSON    `json:"histograms"`
+	// SLO carries the serving layer's objective status (slo.Status) when
+	// a hook is installed via SetSLO; omitted otherwise. Typed any so
+	// metricsrv does not depend on the slo package.
+	SLO any `json:"slo,omitempty"`
 }
 
 type counterJSON struct {
@@ -123,6 +164,7 @@ type histJSON struct {
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	var body snapshotBody
 	s.mu.Lock()
+	sloFn := s.slo
 	for _, c := range s.rec.Counters() {
 		v := c.Value()
 		body.Counters = append(body.Counters, counterJSON{
@@ -140,6 +182,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 			Name: sn.Name, Unit: sn.Unit, Count: sn.Count, Sum: sn.Sum,
 			Max: sn.Max, P50: sn.P50, P90: sn.P90, P99: sn.P99,
 		})
+	}
+	if sloFn != nil {
+		body.SLO = sloFn()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -240,3 +240,70 @@ func TestNewRejectsNilRecorder(t *testing.T) {
 		t.Fatal("New(nil) must fail")
 	}
 }
+
+// TestHealthAndSLOHooks: an installed health hook can degrade /healthz
+// to 503 with a reason (and restore it), and a SetSLO hook's value is
+// embedded in /snapshot under "slo" — nil return omits the key.
+func TestHealthAndSLOHooks(t *testing.T) {
+	rec := telemetry.New(0)
+	populate(rec)
+	srv, err := New(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	srv.SetHealth(func() (bool, string) { return false, "latency burn 12.0x" })
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable ||
+		body != "degraded: latency burn 12.0x\n" {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+	srv.SetHealth(func() (bool, string) { return true, "" })
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("recovered /healthz = %d %q", code, body)
+	}
+	srv.SetHealth(nil)
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("hook-less /healthz = %d %q", code, body)
+	}
+
+	// SLO embedding: the hook's value lands under "slo" and the body
+	// still satisfies the strict snapshot checker.
+	srv.SetSLO(func() any {
+		return map[string]any{"name": "serve-latency", "degraded": true}
+	})
+	code, body := get("/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot = %d", code)
+	}
+	if _, _, _, err := CheckSnapshot([]byte(body)); err != nil {
+		t.Fatalf("snapshot with slo invalid: %v", err)
+	}
+	var withSLO struct {
+		SLO map[string]any `json:"slo"`
+	}
+	if err := json.Unmarshal([]byte(body), &withSLO); err != nil {
+		t.Fatal(err)
+	}
+	if withSLO.SLO["name"] != "serve-latency" {
+		t.Fatalf("snapshot slo = %v", withSLO.SLO)
+	}
+
+	// A nil-returning hook omits the key entirely.
+	srv.SetSLO(func() any { return nil })
+	_, body = get("/snapshot")
+	if strings.Contains(body, "\"slo\"") {
+		t.Fatalf("nil SLO hook still embedded: %s", body)
+	}
+}

@@ -1,0 +1,179 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tracker with a hand-advanced clock.
+func newTestTracker(target float64, short, long time.Duration) (*Tracker, *time.Time) {
+	now := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	clock := &now
+	t := New(Config{
+		Name: "latency", Target: target,
+		ShortWindow: short, LongWindow: long,
+		now: func() time.Time { return *clock },
+	})
+	return t, clock
+}
+
+func TestSLOHealthyAtZeroTraffic(t *testing.T) {
+	tr, _ := newTestTracker(0.99, time.Minute, 10*time.Minute)
+	st := tr.Evaluate(0, 0)
+	if st.Degraded || st.BurnShort != 0 || st.BurnLong != 0 {
+		t.Fatalf("zero traffic not healthy: %+v", st)
+	}
+	st = tr.Evaluate(100, 0)
+	if st.Degraded || st.BurnShort != 0 {
+		t.Fatalf("all-good traffic not healthy: %+v", st)
+	}
+}
+
+func TestSLODegradedNeedsBothWindows(t *testing.T) {
+	tr, clock := newTestTracker(0.99, time.Minute, 10*time.Minute)
+
+	// A long healthy history: 1000 good events over 10 minutes.
+	var good int64
+	for i := 0; i < 10; i++ {
+		good += 100
+		tr.Evaluate(good, 0)
+		*clock = clock.Add(time.Minute)
+	}
+
+	// A burst of failures inside the short window burns the short
+	// window hot, but the long window still includes the healthy
+	// history — degradation requires the failure to persist.
+	st := tr.Evaluate(good+10, 40)
+	if st.BurnShort < 1 {
+		t.Fatalf("short burn %.2f, want ≥ 1 after failure burst", st.BurnShort)
+	}
+	if st.BurnLong >= st.BurnShort {
+		t.Fatalf("long burn %.2f should lag short %.2f", st.BurnLong, st.BurnShort)
+	}
+
+	// Keep failing for the whole long window: both windows now burn.
+	bad := int64(40)
+	for i := 0; i < 11; i++ {
+		*clock = clock.Add(time.Minute)
+		good += 10
+		bad += 40
+		st = tr.Evaluate(good, bad)
+	}
+	if !st.Degraded {
+		t.Fatalf("sustained 80%% failure not degraded: %+v", st)
+	}
+	if st.Reason == "" {
+		t.Fatal("degraded status carries no reason")
+	}
+
+	// Recovery: stop failing; once the windows roll past the incident
+	// the tracker must report healthy again.
+	for i := 0; i < 12; i++ {
+		*clock = clock.Add(time.Minute)
+		good += 100
+		st = tr.Evaluate(good, bad)
+	}
+	if st.Degraded {
+		t.Fatalf("recovered service still degraded: %+v", st)
+	}
+	if st.BurnShort != 0 {
+		t.Fatalf("short burn %.2f after clean window, want 0", st.BurnShort)
+	}
+}
+
+// TestSLOFirstEvaluateBurns: counts accumulated before the FIRST
+// Evaluate call burn against the construction-time zero origin — a
+// service failing from startup must degrade on its first probe, not
+// use its own first (already-bad) sample as the delta baseline.
+func TestSLOFirstEvaluateBurns(t *testing.T) {
+	tr, clock := newTestTracker(0.99, time.Minute, 10*time.Minute)
+	*clock = clock.Add(30 * time.Second)
+	st := tr.Evaluate(0, 10)
+	if st.BurnShort < 1 || st.BurnLong < 1 {
+		t.Fatalf("first-probe burn %.2f/%.2f, want ≥ 1 on both windows", st.BurnShort, st.BurnLong)
+	}
+	if !st.Degraded {
+		t.Fatalf("all-bad startup not degraded on first probe: %+v", st)
+	}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	// target 0.9 → budget 0.1. 50% bad = burn 5.0.
+	tr, clock := newTestTracker(0.9, time.Minute, time.Minute)
+	tr.Evaluate(0, 0)
+	*clock = clock.Add(30 * time.Second)
+	st := tr.Evaluate(50, 50)
+	if st.BurnShort < 4.99 || st.BurnShort > 5.01 {
+		t.Fatalf("burn %.3f, want 5.0", st.BurnShort)
+	}
+	if !st.Degraded {
+		t.Fatalf("5x burn on both windows not degraded: %+v", st)
+	}
+}
+
+func TestSLOSamplePruning(t *testing.T) {
+	tr, clock := newTestTracker(0.99, time.Minute, 5*time.Minute)
+	for i := 0; i < 1000; i++ {
+		tr.Evaluate(int64(i), 0)
+		*clock = clock.Add(time.Second)
+	}
+	tr.mu.Lock()
+	n := len(tr.samples)
+	tr.mu.Unlock()
+	// 5-minute window at 1 sample/s: ~300 retained, never the full 1000.
+	if n > 305 {
+		t.Fatalf("retained %d samples, pruning not applied", n)
+	}
+}
+
+func TestSLOCounterRegression(t *testing.T) {
+	// A caller handing in decreasing counters (restart, bug) must get
+	// clamped deltas, not negative burn or a panic.
+	tr, clock := newTestTracker(0.99, time.Minute, time.Minute)
+	tr.Evaluate(100, 10)
+	*clock = clock.Add(10 * time.Second)
+	st := tr.Evaluate(50, 5)
+	if st.BurnShort != 0 && st.BurnShort < 0 {
+		t.Fatalf("negative burn %.2f", st.BurnShort)
+	}
+}
+
+func TestSLOPerfectTargetBudget(t *testing.T) {
+	tr, clock := newTestTracker(1.0, time.Minute, time.Minute)
+	// Target forced to 1.0 → default replaces 0 only; 1.0 stays. Any
+	// bad event is an unbounded burn, reported as a large finite rate.
+	tr.Evaluate(0, 0)
+	*clock = clock.Add(time.Second)
+	st := tr.Evaluate(10, 1)
+	if st.BurnShort < 1e8 {
+		t.Fatalf("burn %.2f for a zero-budget objective, want large", st.BurnShort)
+	}
+}
+
+func TestSLONilTracker(t *testing.T) {
+	var tr *Tracker
+	st := tr.Evaluate(10, 10)
+	if st.Degraded || st.Name != "" {
+		t.Fatalf("nil tracker returned %+v", st)
+	}
+}
+
+func TestSLOConcurrentEvaluate(t *testing.T) {
+	tr := New(Config{Target: 0.99})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st := tr.Evaluate(int64(1000+i), int64(i%3))
+				if st.BurnShort < 0 || st.BurnLong < 0 {
+					t.Errorf("negative burn %+v", st)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/decwi/decwi/internal/core"
 	"github.com/decwi/decwi/internal/telemetry"
+	"github.com/decwi/decwi/internal/telemetry/flight"
 )
 
 // ParallelOptions parameterizes GenerateParallel: the GenerateOptions
@@ -49,6 +50,14 @@ type ParallelOptions struct {
 	// Incompatible with BreakID > 0, GatedCompute, SequentialSeek and
 	// explicit Shards/ChunkWorkItems (normalizeParallel rejects those).
 	IntraItemSubstreams int
+	// Trace, when non-nil, receives one externally-timed "chunk[w]" span
+	// (w = executing worker) per completed chunk, parented under
+	// TraceSpan — the serve path's flight recorder links one job's HTTP
+	// trace down into the work-stealing execution through these. Pure
+	// observability: a nil Trace skips the sink entirely and the bytes
+	// never depend on either field.
+	Trace     *flight.Trace
+	TraceSpan flight.SpanID
 }
 
 // ParallelResult carries the generated data and scheduler metadata.
@@ -231,6 +240,14 @@ func GenerateParallelContext(parent context.Context, c ConfigID, opt ParallelOpt
 				}
 				elapsed := time.Since(start).Nanoseconds()
 				gActive.Add(-1)
+				if opt.Trace != nil {
+					detail := desc
+					if stolen {
+						detail += " (stolen)"
+					}
+					opt.Trace.Add(fmt.Sprintf("chunk[%d]", w), opt.TraceSpan,
+						start, start.Add(time.Duration(elapsed)), detail, int64(chunk))
+				}
 				if err == nil {
 					chunkDur[chunk] = elapsed
 				}

@@ -53,6 +53,18 @@ go test -race -count=1 \
     -run 'TestResultCache|TestSchedulerCache|TestSchedulerSingleflight|TestSchedulerFastPath|TestResultDigest|TestServerReplayDeterminism|TestServerResultDigestStability' \
     ./internal/serve
 
+# Observability correctness under the race detector: flight-recorder
+# ring wrap and slow/failed-job pinning under churn, per-lane span
+# trees over HTTP, concurrent Submit vs /debug/jobs reads, the SLO
+# burn-rate plane (degradation + recovery), and the chunk-span hook in
+# the parallel scheduler. Named so a narrowed filter can never drop
+# the tracing plane's consistency proofs.
+echo "== job tracing, flight recorder & SLO plane under -race"
+go test -race -count=1 \
+    -run 'TestFlight|TestTrace|TestChrome|TestCheck|TestSLO|TestDebugJobs|TestTracing|TestGenerateParallelChunkSpans|TestHealthAndSLOHooks' \
+    ./internal/telemetry/flight ./internal/telemetry/slo \
+    ./internal/telemetry/metricsrv ./internal/serve .
+
 # Jump-ahead correctness under the race detector: the property suite
 # (Jump(a+b) == Jump(a);Jump(b), Jump ≡ n×Advance, golden vectors) plus
 # the stream-seek and substream equivalences. Named so a narrowed filter
@@ -112,10 +124,19 @@ echo "== live metrics smoke (decwi-gammagen -http + decwi-promcheck)"
 sh scripts/metrics_smoke.sh
 
 # Service smoke: boot decwi-served on ephemeral ports, prove replay
-# determinism over HTTP, run a risk batch, validate the live metrics
-# plane, and require a clean SIGTERM drain.
-echo "== service smoke (decwi-served + decwi-loadgen + decwi-promcheck)"
+# determinism over HTTP, run a risk batch with the per-phase breakdown,
+# validate the live metrics plane and the /debug/jobs trace surface,
+# render a job trace to Chrome trace_event form, require a clean
+# SIGTERM drain, and prove /healthz degrades under an injected slow
+# executor.
+echo "== service smoke (decwi-served + decwi-loadgen + decwi-promcheck + decwi-trace)"
 sh scripts/serve_smoke.sh
+
+# Tracing non-perturbation: the cache-hot fast lane with the flight
+# recorder and SLO plane on must hold ≥ 0.90x the tracing-off
+# throughput (TRACE_OVERHEAD_MIN_RATIO overrides).
+echo "== tracing-overhead gate (flight recorder on vs off, cache-hot lane)"
+sh scripts/trace_overhead.sh
 
 # Baseline-diff smoke: the self-compare must always be delta-free and
 # must satisfy the static substreams-vs-sharded bound, so the comparer

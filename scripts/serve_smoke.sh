@@ -19,6 +19,7 @@ trap cleanup EXIT
 go build -o "$SERVE_TMP/decwi-served" ./cmd/decwi-served
 go build -o "$SERVE_TMP/decwi-loadgen" ./cmd/decwi-loadgen
 go build -o "$SERVE_TMP/decwi-promcheck" ./cmd/decwi-promcheck
+go build -o "$SERVE_TMP/decwi-trace" ./cmd/decwi-trace
 
 "$SERVE_TMP/decwi-served" -addr 127.0.0.1:0 -http 127.0.0.1:0 \
     -executors 2 -drain-timeout 30s 2> "$SERVE_TMP/served.log" &
@@ -46,8 +47,25 @@ fi
 # snapshot assertion below requires the hit counter to have ticked.
 "$SERVE_TMP/decwi-loadgen" -url "$API_URL" -replay -config 2 -scenarios 30000
 
-# A small risk batch exercises the second workload end to end.
-"$SERVE_TMP/decwi-loadgen" -url "$API_URL" -kind risk -requests 2 -concurrency 2 -scenarios 20000
+# A small risk batch exercises the second workload end to end — with
+# the per-phase breakdown on, which also verifies the server echoes the
+# client-minted traceparent ids through the job status.
+"$SERVE_TMP/decwi-loadgen" -url "$API_URL" -kind risk -requests 2 -concurrency 2 -scenarios 20000 -phases
+
+# Observability surface: the flight recorder's /debug/jobs listing and
+# every retained span tree must pass the strict schema/containment
+# checks (monotone times, parent/child nesting), and the newest trace
+# must render to a Chrome trace_event file.
+"$SERVE_TMP/decwi-promcheck" -url "$API_URL/debug/jobs" -jobs -min-jobs 3
+"$SERVE_TMP/decwi-trace" -job "$API_URL/debug/jobs" -trace "$SERVE_TMP/job-trace.json"
+grep -q '"traceEvents"' "$SERVE_TMP/job-trace.json" || {
+    echo "serve smoke: rendered job trace is not Chrome trace_event JSON" >&2
+    exit 1
+}
+
+# Liveness while healthy: /healthz must answer exactly "ok".
+HEALTHZ_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/healthz#')
+"$SERVE_TMP/decwi-promcheck" -url "$HEALTHZ_URL" -healthz
 
 # The serve.* instruments must be live on the same metrics plane the
 # other CLIs use, and the /snapshot JSON must validate across scrapes.
@@ -75,5 +93,36 @@ grep -q "drained, exiting" "$SERVE_TMP/served.log" || {
     cat "$SERVE_TMP/served.log" >&2
     exit 1
 }
+
+# SLO degradation end to end: a fresh instance with an injected slow
+# executor and a microscopic latency objective must flip /healthz to
+# 503 "degraded: ..." after a few over-budget jobs burn both windows.
+"$SERVE_TMP/decwi-served" -addr 127.0.0.1:0 -http 127.0.0.1:0 \
+    -executors 2 -inject-exec-delay 20ms -slo-latency 1ms -cache-bytes 0 \
+    2> "$SERVE_TMP/served-slow.log" &
+SERVED_PID=$!
+API_URL=""
+METRICS_URL=""
+for _ in $(seq 1 100); do
+    API_URL=$(sed -n 's#.*API on \(http://[^ ]*\) .*#\1#p' "$SERVE_TMP/served-slow.log")
+    METRICS_URL=$(sed -n 's#.*metrics on \(http://[^ ]*/metrics\).*#\1#p' "$SERVE_TMP/served-slow.log")
+    [ -n "$API_URL" ] && [ -n "$METRICS_URL" ] && break
+    sleep 0.1
+done
+if [ -z "$API_URL" ] || [ -z "$METRICS_URL" ]; then
+    echo "serve smoke: slow-instance addresses never appeared" >&2
+    cat "$SERVE_TMP/served-slow.log" >&2
+    exit 1
+fi
+"$SERVE_TMP/decwi-loadgen" -url "$API_URL" -requests 4 -concurrency 2 -scenarios 20000
+HEALTHZ_URL=$(printf '%s' "$METRICS_URL" | sed 's#/metrics$#/healthz#')
+"$SERVE_TMP/decwi-promcheck" -url "$HEALTHZ_URL" -healthz -expect-degraded
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID" || {
+    echo "serve smoke: slow instance failed to drain cleanly" >&2
+    cat "$SERVE_TMP/served-slow.log" >&2
+    exit 1
+}
+SERVED_PID=""
 
 echo "serve smoke: OK"

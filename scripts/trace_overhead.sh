@@ -1,0 +1,82 @@
+#!/bin/sh
+# Tracing non-perturbation gate: the flight recorder and SLO plane must
+# not meaningfully slow the serve fast lane. Boots decwi-served twice —
+# observability off (-flight 0 -slo-latency 0) and on (defaults) — and
+# drives the cache-hot same-seed workload (the BENCH_9 fast lane, where
+# per-job overhead is largest relative to work) through decwi-loadgen.
+# Gate: tracing-on throughput ≥ TRACE_OVERHEAD_MIN_RATIO × tracing-off
+# (default 0.90 — generous against shared-CI noise; the per-job cost of
+# a trace is a handful of mutex-guarded span appends).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MIN_RATIO="${TRACE_OVERHEAD_MIN_RATIO:-0.90}"
+REQUESTS="${TRACE_OVERHEAD_REQUESTS:-200}"
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/decwi-served" ./cmd/decwi-served
+go build -o "$TMP/decwi-loadgen" ./cmd/decwi-loadgen
+
+# boot <served flags...>: start a server and resolve its ephemeral API
+# address from the announce line. Structured logging is off in both
+# configurations so the A/B isolates tracing + SLO accounting.
+boot() {
+    : > "$TMP/served.log"
+    "$TMP/decwi-served" -addr 127.0.0.1:0 -log-level off "$@" \
+        2> "$TMP/served.log" &
+    PID=$!
+    API=""
+    for _ in $(seq 1 100); do
+        API=$(sed -n 's#.*API on \(http://[^ ]*\) .*#\1#p' "$TMP/served.log")
+        [ -n "$API" ] && break
+        sleep 0.1
+    done
+    if [ -z "$API" ]; then
+        echo "trace overhead: server address never appeared" >&2
+        cat "$TMP/served.log" >&2
+        exit 1
+    fi
+}
+
+stop_served() {
+    kill -TERM "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    PID=""
+}
+
+# measure: best cache-hot throughput of two bursts (the first also
+# warms the result cache, connections and JIT-ish CPU state).
+measure() {
+    best=0
+    for _ in 1 2; do
+        out=$("$TMP/decwi-loadgen" -url "$API" -same-seed \
+            -requests "$REQUESTS" -concurrency 4 -scenarios 20000 -json)
+        jps=$(printf '%s' "$out" | sed -n 's/.*"jobs_per_sec":\([0-9.eE+-]*\).*/\1/p')
+        [ -n "$jps" ] || { echo "trace overhead: no jobs_per_sec in loadgen output: $out" >&2; exit 1; }
+        best=$(awk -v a="$best" -v b="$jps" 'BEGIN{print (b>a)?b:a}')
+    done
+    printf '%s' "$best"
+}
+
+boot -flight 0 -slo-latency 0
+OFF=$(measure)
+stop_served
+
+boot
+ON=$(measure)
+stop_served
+
+awk -v on="$ON" -v off="$OFF" -v min="$MIN_RATIO" 'BEGIN{
+    ratio = (off > 0) ? on / off : 1
+    printf "trace overhead: tracing-on %.1f jobs/s vs tracing-off %.1f jobs/s (ratio %.3f, floor %.2f)\n", on, off, ratio, min
+    if (ratio < min) exit 1
+}'
+echo "trace overhead: OK"
